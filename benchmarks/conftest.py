@@ -1,0 +1,48 @@
+"""Benchmark plumbing.
+
+Every benchmark regenerates one figure of the paper through the harness,
+records the run time through pytest-benchmark, prints the reproduced table,
+and archives it under ``benchmarks/results/``.
+
+Scale: set ``REPRO_BENCH_SCALE=paper`` for the full 2–64-node sweeps
+(minutes); the default ``small`` keeps each figure to seconds.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.harness.results import Table, render_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "small")
+
+
+@pytest.fixture
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture
+def record_table(request):
+    """Print a reproduced figure and archive it to benchmarks/results/."""
+
+    def _record(table: Table, name: str = None) -> Table:
+        text = render_table(table)
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        fname = name or request.node.name.replace("[", "_").replace("]", "")
+        (RESULTS_DIR / f"{fname}.txt").write_text(text + "\n")
+        return table
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,16 @@
+"""Figure 2: single-node runtime overhead under MANA, five apps."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig2_single_node_overhead
+
+
+def test_fig2_single_node_overhead(benchmark, scale, record_table):
+    table = run_once(benchmark, fig2_single_node_overhead, scale=scale)
+    record_table(table, "fig2_single_node_overhead")
+    # paper: overhead mostly <2%, worst 2.1% (GROMACS/16) — allow the
+    # qualitative band
+    for pct in table.column("normalized_pct"):
+        assert pct > 95.0
+    gromacs = [r for r in table.rows if r[0] == "gromacs" and r[1] >= 16]
+    assert gromacs and min(r[4] for r in gromacs) < 99.2, \
+        "GROMACS should show visible (~1-3%) overhead at 16+ ranks"

@@ -1,0 +1,17 @@
+"""Figure 3: multi-node runtime overhead under MANA, five apps."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig3_multi_node_overhead
+
+
+def test_fig3_multi_node_overhead(benchmark, scale, record_table):
+    table = run_once(benchmark, fig3_multi_node_overhead, scale=scale)
+    record_table(table, "fig3_multi_node_overhead")
+    # paper: typically <2%, worst 4.5% (GROMACS at 512 ranks)
+    for pct in table.column("normalized_pct"):
+        assert pct > 94.0
+    by_app = {}
+    for row in table.rows:
+        by_app.setdefault(row[0], []).append(row[5])
+    assert min(by_app["gromacs"]) <= min(by_app["hpcg"]), \
+        "GROMACS shows the most overhead, HPCG the least"

@@ -1,0 +1,17 @@
+"""Figure 4: p2p bandwidth — native vs MANA, unpatched vs patched kernel."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig4_bandwidth_kernel_patch
+
+
+def test_fig4_bandwidth_kernel_patch(benchmark, scale, record_table):
+    table = run_once(benchmark, fig4_bandwidth_kernel_patch, scale=scale)
+    record_table(table, "fig4_bandwidth_kernel_patch")
+    small = [r for r in table.rows if r[0] <= 64 << 10]
+    large = [r for r in table.rows if r[0] >= 4 << 20]
+    assert small and large
+    for size, native, mana_u, mana_p in small:
+        assert mana_u < 0.97 * native, "unpatched gap below ~1MB"
+        assert mana_p > mana_u, "the FSGSBASE patch recovers bandwidth"
+    for size, native, mana_u, mana_p in large:
+        assert mana_u > 0.97 * native, "gap vanishes at large sizes"

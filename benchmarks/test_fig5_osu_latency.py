@@ -1,0 +1,15 @@
+"""Figure 5: OSU latency micro-benchmarks (p2p, Gather, Allreduce)."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig5_osu_latency
+
+
+def test_fig5_osu_latency(benchmark, scale, record_table):
+    table = run_once(benchmark, fig5_osu_latency, scale=scale)
+    record_table(table, "fig5_osu_latency")
+    benches = {r[0] for r in table.rows}
+    assert benches == {"p2p-latency", "gather", "allreduce"}
+    for bench, size, native_us, mana_us in table.rows:
+        assert mana_us >= native_us - 1e-9
+        assert mana_us - native_us < 10.0, \
+            f"{bench}@{size}: MANA latency must closely follow native"

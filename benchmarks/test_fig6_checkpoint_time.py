@@ -1,0 +1,22 @@
+"""Figure 6: checkpoint time and per-rank image sizes."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig6_checkpoint_time
+
+
+def test_fig6_checkpoint_time(benchmark, scale, record_table):
+    table = run_once(benchmark, fig6_checkpoint_time, scale=scale)
+    record_table(table, "fig6_checkpoint_time")
+    by_app = {}
+    for row in table.rows:
+        by_app.setdefault(row[0], []).append(row)
+    # per-rank image sizes in the paper's bands
+    for row in by_app["gromacs"]:
+        assert 85 <= row[4] <= 100
+    for row in by_app["hpcg"]:
+        assert 1900 <= row[4] <= 2200
+    for row in by_app["lulesh"]:
+        assert 60 <= row[4] <= 300
+    # checkpoint time tracks bytes written: HPCG ≫ GROMACS
+    assert min(r[3] for r in by_app["hpcg"]) > \
+        4 * max(r[3] for r in by_app["gromacs"])

@@ -1,0 +1,18 @@
+"""Figure 7: restart time across node counts."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig7_restart_time
+
+
+def test_fig7_restart_time(benchmark, scale, record_table):
+    table = run_once(benchmark, fig7_restart_time, scale=scale)
+    record_table(table, "fig7_restart_time")
+    for row in table.rows:
+        app, nodes, ranks, total, read, replay = row
+        assert read > 0.5 * total, "read-dominated (paper §3.4)"
+        assert replay < 0.1 * total, "opaque-id recreation <10% of restart"
+    by_app = {}
+    for row in table.rows:
+        by_app.setdefault(row[0], []).append(row[3])
+    # restart time tracks image volume: HPCG slowest of the five
+    assert min(by_app["hpcg"]) >= max(by_app["gromacs"])

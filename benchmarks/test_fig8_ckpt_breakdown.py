@@ -1,0 +1,14 @@
+"""Figure 8: checkpoint-time breakdown (write / drain / protocol comm)."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig8_ckpt_breakdown
+
+
+def test_fig8_ckpt_breakdown(benchmark, scale, record_table):
+    table = run_once(benchmark, fig8_ckpt_breakdown, scale=scale)
+    record_table(table, "fig8_ckpt_breakdown")
+    for row in table.rows:
+        app, ranks, write_pct, drain_pct, comm_pct, drain_s, comm_s = row
+        assert write_pct > 50.0, f"{app}: write time dominates"
+        assert drain_s < 0.7, f"{app}: drain under the paper's 0.7 s"
+        assert comm_s < 1.6, f"{app}: 2-phase comm under the paper's 1.6 s"

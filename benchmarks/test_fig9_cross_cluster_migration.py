@@ -1,0 +1,48 @@
+"""Figure 9 (and §3.5): cross-cluster, cross-MPI migration of GROMACS."""
+
+from benchmarks.conftest import run_once
+from repro.harness import fig9_cross_cluster_migration
+
+
+def test_fig9_cross_cluster_migration(benchmark, scale, record_table):
+    table = run_once(benchmark, fig9_cross_cluster_migration)
+    record_table(table, "fig9_cross_cluster_migration")
+    assert [r[0] for r in table.rows] == [
+        "OpenMPI/IB (2x4)", "MPICH/TCP (2x4)", "MPICH (8x1)",
+    ]
+    for row in table.rows:
+        assert -1.0 < row[3] < 4.0, \
+            f"{row[0]}: degradation a few percent at most (paper <1.8%)"
+
+
+def test_sec35_switch_to_debug_mpich(benchmark, record_table):
+    """§3.5: checkpoint under production Cray MPI, restart under a
+    custom-compiled debug MPICH — it works, and the debug build is slower."""
+    from repro.apps import get_app
+    from repro.hardware.cluster import cori
+    from repro.harness.experiments import _launch_mana_app, _run_native
+    from repro.harness.results import Table
+    from repro.mana.job import restart
+
+    def experiment():
+        spec = get_app("gromacs")
+        cfg = spec.default_config.scaled(n_steps=12)
+        src = cori(4)
+        t_full = _run_native(src, spec, cfg, 8, 2)
+        job = _launch_mana_app(src, spec, cfg, 8, 2)
+        ckpt, _ = job.checkpoint_at(t_full / 2)
+        out = Table("§3.5: transparent switch to debug MPICH",
+                    ["config", "impl", "remaining_runtime_s"])
+        for label, mpi in (("production", "craympich"), ("debug", "mpich-debug")):
+            job2 = restart(ckpt, cori(4), spec.build(cfg), mpi=mpi,
+                           ranks_per_node=2)
+            job2.run_to_completion()
+            out.add(label, job2.world.impl.name,
+                    job2.engine.now - job2.restart_report.total_time)
+        return out
+
+    table = run_once(benchmark, experiment)
+    record_table(table, "sec35_switch_to_debug_mpich")
+    prod, debug = table.rows
+    assert debug[1] == "mpich-debug"
+    assert debug[2] > prod[2], "the debug build runs slower, as expected"

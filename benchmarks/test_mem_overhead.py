@@ -1,0 +1,13 @@
+"""§3.2.2: memory overhead of the split process."""
+
+from benchmarks.conftest import run_once
+from repro.harness import memory_overhead_analysis
+
+
+def test_mem_overhead(benchmark, scale, record_table):
+    table = run_once(benchmark, memory_overhead_analysis, scale=scale)
+    record_table(table, "mem_overhead")
+    rows = {r[0]: r for r in table.rows}
+    assert rows[2][1] == 26.0, "26 MB duplicated MPI text (paper's figure)"
+    assert abs(rows[2][2] - 2.0) < 0.7, "~2 MB driver shmem at 2 nodes"
+    assert abs(rows[64][2] - 40.0) < 2.0, "~40 MB driver shmem at 64 nodes"

@@ -1,0 +1,26 @@
+"""§2.6: model-checking throughput and coverage (the TLC-equivalent run)."""
+
+from benchmarks.conftest import run_once
+from repro.harness.results import Table
+from repro.modelcheck import ModelChecker, NaiveModel, TwoPhaseModel
+
+
+def test_modelcheck_statespace(benchmark, record_table):
+    def explore():
+        out = Table("§2.6: exhaustive verification of the two-phase protocol",
+                    ["model", "ranks", "iters", "states", "transitions",
+                     "verdict"])
+        for n, k in ((2, 1), (2, 2), (3, 1), (3, 2), (4, 1)):
+            res = ModelChecker(TwoPhaseModel(n, k)).run()
+            out.add("two-phase", n, k, res.states_explored, res.transitions,
+                    "OK" if res.ok else res.failure)
+        res = ModelChecker(NaiveModel(2, 1)).run(check_liveness=False)
+        out.add("naive", 2, 1, res.states_explored, res.transitions,
+                res.failure or "OK")
+        return out
+
+    table = run_once(benchmark, explore)
+    record_table(table, "modelcheck_statespace")
+    verdicts = table.column("verdict")
+    assert verdicts[:-1] == ["OK"] * (len(verdicts) - 1)
+    assert verdicts[-1] == "no-rank-in-phase2-at-ckpt"

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""§3.6 reproduced as a script: migrate a GROMACS job from "Cori" to a
+local cluster mid-run, across MPI implementations, networks, and rank
+layouts — then compare against native runs on the target.
+
+Run:  python examples/cross_cluster_migration.py
+"""
+
+from repro.apps import get_app
+from repro.harness import fig9_cross_cluster_migration, render_table
+from repro.harness.experiments import _launch_mana_app, _run_native
+from repro.hardware.cluster import cori, local_cluster
+from repro.mana import restart
+
+
+def main() -> None:
+    spec = get_app("gromacs")
+    cfg = spec.default_config.scaled(n_steps=14)
+
+    # GROMACS on Cori: 8 ranks over 4 nodes, 2 per node, Cray MPICH/Aries.
+    src = cori(4)
+    t_full = _run_native(src, spec, cfg, n_ranks=8, ranks_per_node=2)
+    print(f"native GROMACS on {src.name}: {t_full*1e3:.2f} ms "
+          f"({cfg.n_steps} MD steps)")
+
+    job = _launch_mana_app(src, spec, cfg, 8, 2)
+    ckpt, report = job.checkpoint_at(t_full / 2)
+    print(f"checkpointed at the halfway mark: "
+          f"{ckpt.total_bytes / (1 << 20):.0f} MB total, "
+          f"{report.total_time:.2f} s")
+
+    # Migrate: the same images restart under three target configurations.
+    for label, dst, mpi, rpn in [
+        ("Open MPI over InfiniBand, 2 nodes x 4 ranks",
+         local_cluster(2, "infiniband"), "openmpi", 4),
+        ("MPICH over TCP, 2 nodes x 4 ranks",
+         local_cluster(2, "tcp"), "mpich", 4),
+        ("MPICH single node, 8 ranks",
+         local_cluster(1, "tcp"), "mpich", 8),
+    ]:
+        job2 = restart(ckpt, dst, spec.build(cfg), mpi=mpi, ranks_per_node=rpn)
+        job2.run_to_completion()
+        rep = job2.restart_report
+        print(f"  -> {label}: restart {rep.total_time:.2f} s, "
+              f"remaining run {(job2.engine.now - rep.total_time)*1e3:.2f} ms, "
+              f"checksum {job2.states[0]['checksum']:.6f}")
+
+    # The full Figure-9 comparison with native baselines:
+    print()
+    print(render_table(fig9_cross_cluster_migration()))
+
+
+if __name__ == "__main__":
+    main()

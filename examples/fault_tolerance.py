@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""The production loop MANA exists for: periodic checkpoints to stable
+storage, a node failure, recovery on replacement hardware — with the
+application also writing results to a shared parallel filesystem through
+MPI-IO (open files restored across the restart).
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.hardware.cluster import make_cluster
+from repro.hardware.filesystem import SimFilesystem
+from repro.mana import launch_mana, load_checkpoint, restart
+from repro.mana.autockpt import run_with_periodic_checkpoints, young_daly_interval
+from repro.mpilib import SUM
+from repro.mprog import Call, Compute, Loop, Program, Seq
+from repro.simtime import Completion
+
+
+def make_program(rank, size):
+    """Iterative solver that appends a result row to /results.dat per step."""
+
+    def init(s):
+        s["x"] = np.array([float(s["rank"] + 1)])
+
+    def open_results(s, api):
+        return api.file_open("/results.dat", "rw")
+
+    def solve(s, api):
+        return api.allreduce(s["x"], SUM)
+
+    def update(s):
+        s["x"] = s["x"] * 0.95 + 0.5
+
+    def write_row(s, api):
+        offset = (s["step"] * s["size"] + s["rank"]) * 8
+        return api.file_write_at_all(s["fh"], offset,
+                                     np.array([float(s["sum"][0])]).tobytes())
+
+    def close_results(s, api):
+        api.file_close(s["fh"])
+        done = Completion(api.rt.engine)
+        done.resolve(None)
+        return done
+
+    return Program(Seq(
+        Compute(init),
+        Call(open_results, store="fh"),
+        Loop(16, Seq(
+            Call(solve, store="sum"),
+            Compute(update, cost=0.8),
+            Call(write_row, store="_w"),
+        ), var="step"),
+        Call(close_results),
+    ), name="solver")
+
+
+def main() -> None:
+    shared_fs = SimFilesystem("site-lustre")
+    prod = make_cluster("prod", 4, interconnect="aries", fs=shared_fs,
+                        default_mpi="craympich")
+
+    # Pick the checkpoint period from the Young/Daly formula.
+    interval = young_daly_interval(mtbf_seconds=40.0, ckpt_cost_seconds=0.5)
+    print(f"Young/Daly period for MTBF=40s, C=0.5s: {interval:.1f} s")
+
+    with tempfile.TemporaryDirectory() as stable_storage:
+        job = launch_mana(prod, make_program, n_ranks=8, ranks_per_node=2).start()
+        # Drive with periodic checkpoints until a node fails at t=10.5 s.
+        run = run_with_periodic_checkpoints(job, interval=interval,
+                                            out_dir=stable_storage, keep=2,
+                                            until=10.5)
+        assert not run.completed, "the failure should interrupt the run"
+        print(f"node failure at t=10.5 s! job lost mid-run "
+              f"(~step {job.states[0].get('step', '?')} of 16); "
+              f"last checkpoint: {run.latest_dir.name}, "
+              f"{len(run.reports)} checkpoints taken "
+              f"({run.checkpoint_overhead:.2f} s total overhead)")
+        ckpt = load_checkpoint(run.latest_dir)
+        del job  # the crashed world
+
+        # Recover on the spare partition: different MPI, different fabric.
+        spare = make_cluster("spare", 8, interconnect="infiniband",
+                             fs=shared_fs, default_mpi="openmpi")
+        recovered = restart(ckpt, spare, make_program, ranks_per_node=1)
+        recovered.run_to_completion()
+        print(f"recovered on {spare.name} "
+              f"({recovered.world.impl.name}/{recovered.world.fabric.name}); "
+              f"run completed at t={recovered.engine.now:.2f} s")
+
+    # Verify the output file against an uninterrupted reference run.
+    ref_fs = SimFilesystem()
+    ref = make_cluster("ref", 4, interconnect="aries", fs=ref_fs,
+                       default_mpi="craympich")
+    ref_job = launch_mana(ref, make_program, n_ranks=8, ranks_per_node=2).start()
+    ref_job.run_to_completion()
+    got = shared_fs.open("/results.dat", create=False)
+    want = ref_fs.open("/results.dat", create=False)
+    assert got.read(0, want.size) == want.read(0, want.size)
+    print(f"verified: /results.dat ({want.size} bytes) identical to an "
+          f"uninterrupted run — no lost or duplicated output rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""§3.5 reproduced: switch a long-running job from the production Cray MPI
+to a custom-compiled *debug* MPICH across a checkpoint-restart, to debug an
+issue occurring deep into a run — without rerunning from the start.
+
+Run:  python examples/switch_mpi_debugging.py
+"""
+
+from repro.apps import get_app
+from repro.harness.experiments import _launch_mana_app, _run_native
+from repro.hardware.cluster import cori
+from repro.mana import restart
+from repro.mana.virtualize import HandleKind
+
+
+def main() -> None:
+    spec = get_app("gromacs")
+    cfg = spec.default_config.scaled(n_steps=16)
+    cluster = cori(4)
+
+    # A production run under Cray MPI...
+    job = _launch_mana_app(cluster, spec, cfg, 8, 2)
+    print(f"production run: {job.world.impl.name} {job.world.impl.version} "
+          f"over {job.world.fabric.name}")
+    t_full = _run_native(cluster, spec, cfg, 8, 2)
+    ckpt, _ = job.checkpoint_at(0.55 * t_full)  # "a checkpoint taken 55s in"
+    world_comm_real = job.runtimes[0].table.resolve(HandleKind.COMM, 1)
+    print(f"checkpoint taken; real MPI_COMM_WORLD handle was "
+          f"{world_comm_real.handle:#x} — the application only ever saw "
+          f"virtual handle 1")
+
+    # ...restarted under a debug build of MPICH 3.3 for instrumentation.
+    job2 = restart(ckpt, cluster, spec.build(cfg), mpi="mpich-debug",
+                   ranks_per_node=2)
+    job2.run_to_completion()
+    impl = job2.world.impl
+    new_real = job2.runtimes[0].table.resolve(HandleKind.COMM, 1)
+    print(f"restarted under {impl.name} {impl.version} "
+          f"(debug build: {impl.debug})")
+    print(f"the lower half was rebuilt from scratch: real handle "
+          f"{new_real.handle:#x} belongs to the new library instance; the "
+          f"application still holds virtual handle 1 throughout")
+    print(f"debug build per-call overhead: {impl.call_overhead*1e9:.0f} ns "
+          f"vs production 90 ns — the run is slower but fully instrumented")
+    print(f"final checksum: {job2.states[0]['checksum']:.6f} "
+          f"(identical to what the production run would have produced)")
+
+    # Prove that last claim:
+    ref = _launch_mana_app(cluster, spec, cfg, 8, 2)
+    ref.run_to_completion()
+    assert ref.states[0]["checksum"] == job2.states[0]["checksum"]
+    print("verified against an uninterrupted production run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""§2.6 reproduced: model-check the two-phase checkpoint protocol.
+
+The paper used TLA+/PlusCal with the TLC model checker; this repository
+ships its own explicit-state checker.  The script verifies Algorithm 2
+(safety, deadlock freedom, liveness) exhaustively for small rank counts,
+then shows the counterexample the checker finds for the *naive* protocol
+without the two-phase wrapper — the reason the algorithm exists.
+
+Run:  python examples/verify_protocol.py
+"""
+
+from repro.modelcheck import ModelChecker, NaiveModel, TwoPhaseModel
+
+
+def main() -> None:
+    print("Verifying the two-phase protocol (Algorithm 2)...")
+    for n_ranks, n_iters in [(2, 1), (2, 2), (3, 1), (3, 2), (4, 1)]:
+        result = ModelChecker(TwoPhaseModel(n_ranks, n_iters)).run()
+        print(f"  N={n_ranks} ranks, {n_iters} collectives each: {result}")
+        assert result.ok
+
+    print()
+    print("Checked invariants:")
+    print("  * safety:   no rank is inside the real collective (phase 2)")
+    print("              when do-ckpt is processed  [Theorem 1]")
+    print("  * progress: no deadlock; checkpoint + run always completable")
+    print("              [Theorem 2]")
+
+    print()
+    print("Now the naive protocol (no trivial barrier, no intent rounds):")
+    naive = ModelChecker(NaiveModel(2, 1)).run(check_liveness=False)
+    print(f"  {naive}")
+    assert not naive.ok
+    print("  counterexample trace (shortest):")
+    for step in naive.trace:
+        print(f"    {step}")
+    print("  -> the checkpoint lands while rank 0 is inside a collective;")
+    print("     restarting such an image deadlocks or corrupts the job.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs cannot build; this shim lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

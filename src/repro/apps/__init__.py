@@ -1,0 +1,35 @@
+"""Workload applications: the paper's five HPC benchmarks plus the OSU
+micro-benchmarks, as communication-skeleton mini-apps.
+
+Each app reproduces its real counterpart's *MPI behaviour* — which calls it
+makes, how often, with what message sizes, against how much compute — which
+is what drives every number in the paper's evaluation:
+
+* **GROMACS** — molecular dynamics: many small point-to-point halo/force
+  exchanges per step plus one tiny allreduce; the call-dense profile that
+  makes MANA's per-call FS-switch overhead visible (the paper's worst case,
+  2.1 % unpatched);
+* **miniFE** — implicit finite elements: CG solve, a few medium halo
+  exchanges and two scalar allreduces per iteration against heavy compute
+  (≈0 % overhead);
+* **HPCG** — conjugate gradient with 27-point SpMV halos and multigrid
+  smoothing; compute-bound, large memory footprint (the 2 GB/rank images);
+* **CLAMR** — cell-based AMR: neighbour exchange plus load *imbalance* that
+  shifts over time and periodic regrid/allgather;
+* **LULESH** — explicit shock hydrodynamics on a 3D Cartesian topology
+  (cubic rank counts), 26-neighbour stencil exchanges and a dt allreduce;
+* **OSU** — ping-pong latency, windowed bandwidth, gather and allreduce
+  latency sweeps (Figures 4 and 5);
+* **NPB-FT** *(extension, not in the paper's evaluation)* — 3-D FFT with
+  global all-to-all transposes, the adversarial communication pattern for
+  drain and the two-phase wrapper.
+
+Every app's numeric state is small real numpy data (so checkpoint-restart
+exactness is machine-checked) while its *modeled* message sizes and memory
+footprint reproduce the paper's (driving all timing and image sizes).
+"""
+
+from repro.apps.base import APP_REGISTRY, AppConfig, get_app
+from repro.apps import clamr, gromacs, hpcg, lulesh, minife, npbft, osu  # noqa: F401
+
+__all__ = ["APP_REGISTRY", "AppConfig", "get_app"]

@@ -1,0 +1,163 @@
+"""OSU micro-benchmarks: the probes behind Figures 4 and 5.
+
+* ``osu_latency`` — ping-pong between two ranks; reports one-way latency;
+* ``osu_bw`` — windowed flood from rank 0 to rank 1 with a closing ack;
+  reports MB/s;
+* ``osu_gather`` / ``osu_allreduce`` — collective latency sweeps.
+
+Each benchmark is an ordinary program run either natively or under MANA, so
+the measured difference *is* MANA's interposition overhead (FS switches,
+virtualization, and — for collectives — the trivial barrier of the
+two-phase wrapper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.mana.job import launch_mana
+from repro.mpilib.ops import SUM
+from repro.mprog.ast import Call, Compute, Loop, Program, Seq
+from repro.runtime.native import NativeJob
+from repro.mpilib.launcher import launch
+from repro.simtime import Engine
+
+_PAYLOAD = 16  # real doubles carried; wire size is the modeled `size=`
+
+
+def _mk_payload(state) -> None:
+    state["buf"] = np.arange(_PAYLOAD, dtype=np.float64) + state["rank"]
+
+
+def latency_program(size_bytes: int, n_iters: int = 50):
+    """Ping-pong: rank 0 sends/receives, rank 1 receives/sends."""
+
+    def factory(rank: int, world: int) -> Program:
+        def send(state, api):
+            return api.send(1 - state["rank"], state["buf"], tag=1,
+                            size=size_bytes)
+
+        def recv(state, api):
+            return api.recv(source=1 - state["rank"], tag=1)
+
+        body = Seq(Call(send), Call(recv, store="_pong")) if rank == 0 \
+            else Seq(Call(recv, store="_ping"), Call(send))
+        return Program(Seq(Compute(_mk_payload), Loop(n_iters, body)),
+                       name=f"osu-latency-{size_bytes}")
+
+    return factory
+
+
+def bandwidth_program(size_bytes: int, window: int = 32, n_iters: int = 8):
+    """Windowed unidirectional flood rank 0 -> rank 1, ack to close."""
+
+    def factory(rank: int, world: int) -> Program:
+        def send(state, api):
+            return api.send(1, state["buf"], tag=2, size=size_bytes)
+
+        def recv(state, api):
+            return api.recv(source=0, tag=2)
+
+        def ack_send(state, api):
+            return api.send(0, np.zeros(1), tag=3, size=8)
+
+        def ack_recv(state, api):
+            return api.recv(source=1, tag=3)
+
+        if rank == 0:
+            body = Seq(Loop(window, Call(send)), Call(ack_recv, store="_a"))
+        else:
+            body = Seq(Loop(window, Call(recv, store="_d")), Call(ack_send))
+        return Program(Seq(Compute(_mk_payload), Loop(n_iters, body)),
+                       name=f"osu-bw-{size_bytes}")
+
+    return factory
+
+
+def gather_program(size_bytes: int, n_iters: int = 30):
+    """OSU gather-latency program at one message size."""
+    def factory(rank: int, world: int) -> Program:
+        def gather(state, api):
+            return api.gather(state["buf"], root=0, size=size_bytes)
+
+        return Program(
+            Seq(Compute(_mk_payload), Loop(n_iters, Call(gather, store="_g"))),
+            name=f"osu-gather-{size_bytes}",
+        )
+
+    return factory
+
+
+def allreduce_program(size_bytes: int, n_iters: int = 30):
+    """OSU allreduce-latency program at one message size."""
+    def factory(rank: int, world: int) -> Program:
+        def allreduce(state, api):
+            return api.allreduce(state["buf"], SUM, size=size_bytes)
+
+        return Program(
+            Seq(Compute(_mk_payload), Loop(n_iters, Call(allreduce, store="_r"))),
+            name=f"osu-allreduce-{size_bytes}",
+        )
+
+    return factory
+
+
+# ------------------------------------------------------------- measurement
+
+def run_program(
+    cluster: Cluster,
+    factory,
+    n_ranks: int,
+    ranks_per_node: Optional[int] = None,
+    mpi: Optional[str] = None,
+    mana: bool = False,
+) -> float:
+    """Run a benchmark program; returns total job wall time (sim seconds)."""
+    if mana:
+        job = launch_mana(cluster, factory, n_ranks=n_ranks,
+                          ranks_per_node=ranks_per_node, mpi=mpi,
+                          app_mem_bytes=1 << 20).start()
+        return job.run_to_completion()
+    engine = Engine()
+    world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node,
+                   mpi=mpi)
+    programs = [factory(r, n_ranks) for r in range(n_ranks)]
+    return NativeJob(engine, world, programs).run_to_completion()
+
+
+def measure_latency(cluster: Cluster, size_bytes: int, mana: bool,
+                    n_iters: int = 50, ranks_per_node: int = 2,
+                    mpi: Optional[str] = None) -> float:
+    """One-way p2p latency in seconds (two ranks on one node, like §3.2.3)."""
+    total = run_program(
+        cluster, latency_program(size_bytes, n_iters), n_ranks=2,
+        ranks_per_node=ranks_per_node, mpi=mpi, mana=mana,
+    )
+    return total / n_iters / 2.0
+
+
+def measure_bandwidth(cluster: Cluster, size_bytes: int, mana: bool,
+                      window: int = 32, n_iters: int = 8,
+                      ranks_per_node: int = 2,
+                      mpi: Optional[str] = None) -> float:
+    """Unidirectional bandwidth in bytes/second."""
+    total = run_program(
+        cluster, bandwidth_program(size_bytes, window, n_iters), n_ranks=2,
+        ranks_per_node=ranks_per_node, mpi=mpi, mana=mana,
+    )
+    return (size_bytes * window * n_iters) / total
+
+
+def measure_collective(cluster: Cluster, op: str, size_bytes: int, mana: bool,
+                       n_ranks: int = 2, ranks_per_node: int = 2,
+                       n_iters: int = 30, mpi: Optional[str] = None) -> float:
+    """Average collective latency in seconds for 'gather' or 'allreduce'."""
+    factory = {"gather": gather_program, "allreduce": allreduce_program}[op](
+        size_bytes, n_iters
+    )
+    total = run_program(cluster, factory, n_ranks=n_ranks,
+                        ranks_per_node=ranks_per_node, mpi=mpi, mana=mana)
+    return total / n_iters

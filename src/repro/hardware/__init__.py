@@ -1,0 +1,28 @@
+"""Simulated cluster hardware: nodes, clusters, kernel, parallel storage.
+
+This package models exactly the pieces of Cori (and of the paper's local
+cluster) that MANA's evaluation depends on:
+
+* :class:`KernelModel` — the cost of switching the x86-64 ``FS`` register
+  between the upper- and lower-half TLS blocks, with and without the
+  FSGSBASE kernel patch the paper benchmarks (§3.3, Fig. 4);
+* :class:`ComputeNode` / :class:`Cluster` — hosts, cores per node, and the
+  interconnect the cluster is wired with;
+* :class:`LustreModel` — a parallel filesystem with per-node bandwidth,
+  global contention, and the straggler behaviour (§3.4) that makes overall
+  checkpoint time track the slowest rank.
+"""
+
+from repro.hardware.kernelmodel import KernelModel
+from repro.hardware.node import ComputeNode
+from repro.hardware.cluster import Cluster, ClusterError
+from repro.hardware.storage import LustreModel, WriteReport
+
+__all__ = [
+    "Cluster",
+    "ClusterError",
+    "ComputeNode",
+    "KernelModel",
+    "LustreModel",
+    "WriteReport",
+]

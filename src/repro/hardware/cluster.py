@@ -1,0 +1,140 @@
+"""A cluster: a set of nodes wired with one interconnect and one filesystem.
+
+Clusters are cheap value objects; jobs are *launched onto* a cluster by the
+MPI launcher (:mod:`repro.mpilib.launcher`) or by MANA.  Two pre-canned
+configurations mirror the paper's testbeds: :func:`cori` (Haswell nodes,
+Aries interconnect, Lustre backend) and :func:`local_cluster` (the authors'
+InfiniBand cluster used for migration and kernel-patch experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.kernelmodel import KernelModel
+from repro.hardware.node import ComputeNode
+from repro.hardware.storage import LustreModel
+from repro.hardware.filesystem import SimFilesystem
+
+
+class ClusterError(RuntimeError):
+    """Raised on impossible placements (more ranks than cores, etc.)."""
+
+
+@dataclass
+class Cluster:
+    """A named cluster with homogeneous nodes."""
+
+    name: str
+    nodes: list[ComputeNode]
+    interconnect: str = "tcp"
+    storage: LustreModel = field(default_factory=LustreModel)
+    #: the site's shared parallel-filesystem namespace (application files);
+    #: pass one instance to several clusters to model shared/staged storage
+    fs: SimFilesystem = field(default_factory=SimFilesystem)
+    #: The site's recommended MPI implementation (what `module load` gives you).
+    default_mpi: str = "mpich"
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the cluster."""
+        return len(self.nodes)
+
+    @property
+    def kernel(self) -> KernelModel:
+        """The (homogeneous) node kernel model."""
+        return self.nodes[0].kernel
+
+    def place_ranks(self, n_ranks: int, ranks_per_node: Optional[int] = None) -> list[int]:
+        """Block-place ``n_ranks`` MPI ranks; returns rank→node_id.
+
+        With ``ranks_per_node`` unset, ranks are spread as evenly as possible
+        across all nodes (what a fresh ``MPI_Init`` discovers — the paper's
+        point about restart re-optimising rank-to-host bindings for free).
+        """
+        if n_ranks <= 0:
+            raise ClusterError(f"need a positive rank count, got {n_ranks}")
+        if ranks_per_node is None:
+            n_nodes = min(self.node_count, n_ranks)
+            base, extra = divmod(n_ranks, n_nodes)
+            placement: list[int] = []
+            for node_idx in range(n_nodes):
+                count = base + (1 if node_idx < extra else 0)
+                placement.extend([self.nodes[node_idx].node_id] * count)
+            return placement
+        if ranks_per_node <= 0:
+            raise ClusterError(f"ranks_per_node must be positive, got {ranks_per_node}")
+        needed_nodes = -(-n_ranks // ranks_per_node)
+        if needed_nodes > self.node_count:
+            raise ClusterError(
+                f"{n_ranks} ranks at {ranks_per_node}/node need {needed_nodes} nodes; "
+                f"cluster {self.name!r} has {self.node_count}"
+            )
+        if ranks_per_node > self.nodes[0].cores:
+            raise ClusterError(
+                f"{ranks_per_node} ranks/node oversubscribes {self.nodes[0].cores} cores"
+            )
+        return [self.nodes[r // ranks_per_node].node_id for r in range(n_ranks)]
+
+    def node(self, node_id: int) -> ComputeNode:
+        """Look up a node by id; raises ClusterError if unknown."""
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise ClusterError(f"no node {node_id} in cluster {self.name!r}")
+
+
+def make_cluster(
+    name: str,
+    n_nodes: int,
+    cores_per_node: int = 32,
+    interconnect: str = "tcp",
+    kernel: Optional[KernelModel] = None,
+    storage: Optional[LustreModel] = None,
+    core_speed: float = 1.0,
+    default_mpi: str = "mpich",
+    fs: Optional[SimFilesystem] = None,
+) -> Cluster:
+    """Build a homogeneous cluster.  Pass a shared ``fs`` to model several
+    clusters mounting the same parallel filesystem."""
+    kern = kernel if kernel is not None else KernelModel()
+    nodes = [
+        ComputeNode(
+            node_id=i, hostname=f"{name}-n{i:04d}", cores=cores_per_node,
+            kernel=kern, core_speed=core_speed,
+        )
+        for i in range(n_nodes)
+    ]
+    return Cluster(
+        name=name, nodes=nodes, interconnect=interconnect,
+        storage=storage if storage is not None else LustreModel(),
+        default_mpi=default_mpi,
+        fs=fs if fs is not None else SimFilesystem(f"{name}-fs"),
+    )
+
+
+def cori(n_nodes: int, kernel: Optional[KernelModel] = None) -> Cluster:
+    """Cori-like: Haswell nodes, Aries interconnect, Cray MPICH, Lustre."""
+    return make_cluster(
+        "cori", n_nodes, cores_per_node=32, interconnect="aries",
+        kernel=kernel, default_mpi="craympich",
+        # Calibrated to the paper's Fig. 6: the overall checkpoint time is
+        # the *slowest* rank's write (stragglers up to ~4x the p90, §3.4),
+        # so hitting HPCG's ~35-40 s for 4 TB at 64 nodes implies a base
+        # per-node injection of ~6.5 GB/s with the straggler tail on top.
+        storage=LustreModel(per_node_bandwidth=6.5e9, aggregate_bandwidth=700e9),
+    )
+
+
+def local_cluster(
+    n_nodes: int,
+    interconnect: str = "infiniband",
+    kernel: Optional[KernelModel] = None,
+) -> Cluster:
+    """The authors' local cluster: InfiniBand, Open MPI recommended."""
+    return make_cluster(
+        "local", n_nodes, cores_per_node=16, interconnect=interconnect,
+        kernel=kernel, default_mpi="openmpi", core_speed=1.0,
+        storage=LustreModel(per_node_bandwidth=0.8e9, aggregate_bandwidth=20e9),
+    )

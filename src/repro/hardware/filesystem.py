@@ -1,0 +1,80 @@
+"""The site's shared parallel-filesystem namespace (application files).
+
+Checkpoint images travel through :class:`~repro.hardware.storage.LustreModel`
+(timing); this module holds the *contents* side: named files with real
+(sparse) bytes, shared by every job that runs against the same filesystem
+instance.  Cross-cluster migration of an application that holds open files
+assumes site-shared or pre-staged storage — model it by passing one
+:class:`SimFilesystem` to both clusters.
+"""
+
+from __future__ import annotations
+
+
+class FilesystemError(RuntimeError):
+    """Missing files, bad offsets."""
+
+
+class SimFile:
+    """One file: sparse byte contents plus a modeled size."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._chunks: dict[int, bytes] = {}
+        self.size = 0
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write bytes at an offset (sparse)."""
+        if offset < 0:
+            raise FilesystemError(f"negative offset {offset} in {self.path}")
+        self._chunks[offset] = bytes(data)
+        self.size = max(self.size, offset + len(data))
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes; unwritten holes read as zeros."""
+        out = bytearray(length)
+        for start, chunk in self._chunks.items():
+            lo = max(start, offset)
+            hi = min(start + len(chunk), offset + length)
+            if lo < hi:
+                out[lo - offset:hi - offset] = chunk[lo - start:hi - start]
+        return bytes(out)
+
+    def checksum(self) -> int:
+        """Content digest over all written chunks."""
+        import zlib
+
+        acc = 0
+        for offset in sorted(self._chunks):
+            acc = zlib.crc32(self._chunks[offset], acc ^ offset & 0xFFFFFFFF)
+        return acc
+
+
+class SimFilesystem:
+    """A shared namespace of :class:`SimFile` objects.
+
+    One instance stands for a site's parallel filesystem; pass the same
+    instance to the source and target clusters of a migration to model
+    shared (or pre-staged) storage.
+    """
+
+    def __init__(self, name: str = "lustre") -> None:
+        self.name = name
+        self._files: dict[str, SimFile] = {}
+
+    def open(self, path: str, create: bool = True) -> SimFile:
+        """Get (or create) the file at ``path``."""
+        f = self._files.get(path)
+        if f is None:
+            if not create:
+                raise FilesystemError(f"no such file {path!r} on {self.name}")
+            f = self._files[path] = SimFile(path)
+        return f
+
+    def exists(self, path: str) -> bool:
+        """True if ``path`` has been created."""
+        return path in self._files
+
+    def listing(self) -> list[str]:
+        """All known paths, sorted."""
+        return sorted(self._files)

@@ -1,0 +1,51 @@
+"""Kernel cost model: FS-register switching and syscalls.
+
+Section 3.3 of the paper identifies the dominant source of MANA's runtime
+overhead: every transfer of control between the upper and the lower half must
+repoint the x86-64 ``FS`` segment register at the other program's thread-local
+storage block.  On an unpatched kernel this requires the privileged
+``arch_prctl(ARCH_SET_FS)`` syscall; with the (then pending, since merged)
+FSGSBASE patch it is a single unprivileged ``WRFSBASE`` instruction.
+
+The constants below are calibrated to typical measurements on Haswell-class
+hardware (syscall round-trip ≈ 100–150 ns; WRFSBASE ≈ 10–20 ns) — the same
+class of machine as Cori's compute nodes.  What matters for reproducing
+Fig. 4 is the *ratio* and the fact that two switches happen per MPI call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KernelModel:
+    """Timing model for the simulated node's Linux kernel."""
+
+    #: Whether the FSGSBASE patch (LWN 769355) is applied.
+    fsgsbase_patched: bool = False
+    #: Cost of a syscall-based FS switch (seconds).
+    fs_switch_syscall: float = 130e-9
+    #: Cost of an unprivileged WRFSBASE-based FS switch (seconds).
+    fs_switch_fsgsbase: float = 14e-9
+    #: Generic syscall round-trip (used by sbrk/mmap accounting).
+    syscall: float = 120e-9
+
+    @property
+    def fs_switch(self) -> float:
+        """Cost of one FS-register switch under this kernel."""
+        return self.fs_switch_fsgsbase if self.fsgsbase_patched else self.fs_switch_syscall
+
+    def upper_lower_transition(self) -> float:
+        """Cost of one upper→lower→upper round trip (two FS switches).
+
+        This is charged by MANA's wrapper layer on *every* interposed MPI
+        call; it is the per-call constant that shows up as percentage
+        overhead for small-message workloads and vanishes for large ones.
+        """
+        return 2.0 * self.fs_switch
+
+
+#: The kernels the paper evaluates.
+UNPATCHED = KernelModel(fsgsbase_patched=False)
+PATCHED = KernelModel(fsgsbase_patched=True)

@@ -1,0 +1,29 @@
+"""A compute node: cores, memory, and its kernel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.kernelmodel import KernelModel
+
+
+@dataclass
+class ComputeNode:
+    """One host of a simulated cluster.
+
+    The default values describe a Cori Haswell node: dual-socket 16-core
+    Xeon E5-2698 v3 (32 cores total), 128 GB of memory.
+    """
+
+    node_id: int
+    hostname: str
+    cores: int = 32
+    mem_bytes: int = 128 << 30
+    kernel: KernelModel = field(default_factory=KernelModel)
+    #: Relative compute speed (1.0 = Cori Haswell); lets a "local cluster"
+    #: differ from Cori in per-core throughput for the Fig. 9 experiment.
+    core_speed: float = 1.0
+
+    def compute_time(self, work_seconds: float) -> float:
+        """Wall time this node needs for ``work_seconds`` of reference work."""
+        return work_seconds / self.core_speed

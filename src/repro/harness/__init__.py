@@ -1,0 +1,36 @@
+"""Experiment harness: one runner per figure of the paper's evaluation.
+
+Each ``fig*`` function reproduces one artifact of §3 end-to-end on the
+simulated substrate and returns a structured result that both the benchmark
+suite (``benchmarks/``) and EXPERIMENTS.md rendering consume.  Scale is a
+parameter: the defaults are laptop-sized sweeps; ``scale="paper"`` runs the
+full 64-node × 32-rank configurations of the paper.
+"""
+
+from repro.harness.results import Series, Table, render_table
+from repro.harness.experiments import (
+    fig2_single_node_overhead,
+    fig3_multi_node_overhead,
+    fig4_bandwidth_kernel_patch,
+    fig5_osu_latency,
+    fig6_checkpoint_time,
+    fig7_restart_time,
+    fig8_ckpt_breakdown,
+    fig9_cross_cluster_migration,
+    memory_overhead_analysis,
+)
+
+__all__ = [
+    "Series",
+    "Table",
+    "fig2_single_node_overhead",
+    "fig3_multi_node_overhead",
+    "fig4_bandwidth_kernel_patch",
+    "fig5_osu_latency",
+    "fig6_checkpoint_time",
+    "fig7_restart_time",
+    "fig8_ckpt_breakdown",
+    "fig9_cross_cluster_migration",
+    "memory_overhead_analysis",
+    "render_table",
+]

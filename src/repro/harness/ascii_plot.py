@@ -1,0 +1,128 @@
+"""Plain-text charts for experiment results.
+
+EXPERIMENTS.md and the CLI render figures as monospace charts so the
+reproduction's shapes can be eyeballed against the paper's without any
+plotting dependency.  Two forms:
+
+* :func:`line_chart` — multi-series x/y plot on a character canvas
+  (optionally log-scaled x), for Figures 4 and 5;
+* :func:`bar_chart` — grouped horizontal bars, for Figures 2/3/6/7/9.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.harness.results import Series
+
+#: glyphs assigned to series, in order
+_MARKS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, int(round(pos * (cells - 1)))))
+
+
+def line_chart(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Render series onto a character canvas with axes and a legend."""
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y]
+    if not xs:
+        raise ValueError("line_chart needs data points")
+    if log_x:
+        if min(xs) <= 0:
+            raise ValueError("log_x requires positive x values")
+        fx = math.log10
+    else:
+        fx = float
+    x_lo, x_hi = min(fx(x) for x in xs), max(fx(x) for x in xs)
+    y_lo, y_hi = min(ys), max(ys)
+    # anchor near-zero minima at zero so bar-like curves read intuitively
+    if 0 < y_lo < y_hi * 0.05:
+        y_lo = 0.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, s in enumerate(series):
+        mark = _MARKS[idx % len(_MARKS)]
+        for x, y in zip(s.x, s.y):
+            col = _scale(fx(x), x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            canvas[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_label_width = 10
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{y_hi:>9.3g} "
+        elif i == height - 1:
+            label = f"{y_lo:>9.3g} "
+        else:
+            label = " " * y_label_width
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * y_label_width + "+" + "-" * width)
+    x_left = f"{(10 ** x_lo if log_x else x_lo):.3g}"
+    x_right = f"{(10 ** x_hi if log_x else x_hi):.3g}"
+    gap = width - len(x_left) - len(x_right)
+    lines.append(" " * (y_label_width + 1) + x_left + " " * max(1, gap)
+                 + x_right)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * (y_label_width + 1) + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bars, one per label; optional baseline tick rendered '|'."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("bar_chart needs at least one bar")
+    hi = max(max(values), baseline or 0.0, 1e-300)
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = int(round(value / hi * width))
+        bar = "#" * filled + " " * (width - filled)
+        if baseline is not None:
+            tick = min(width - 1, int(round(baseline / hi * width)))
+            if tick >= len(bar.rstrip()) or bar[tick] == " ":
+                bar = bar[:tick] + "|" + bar[tick + 1:]
+        lines.append(f"{str(label):<{label_width}} {bar} {value:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def table_to_line_chart(table, x_col: str, y_col: str, series_col: str,
+                        log_x: bool = False) -> str:
+    """Build a line chart directly from a results Table."""
+    xi = table.columns.index(x_col)
+    yi = table.columns.index(y_col)
+    si = table.columns.index(series_col)
+    by_series: dict[str, tuple[list, list]] = {}
+    for row in table.rows:
+        xs, ys = by_series.setdefault(str(row[si]), ([], []))
+        xs.append(row[xi])
+        ys.append(row[yi])
+    series = [Series(name, xs, ys) for name, (xs, ys) in by_series.items()]
+    return line_chart(series, log_x=log_x, title=table.title)

@@ -1,0 +1,454 @@
+"""Figure-by-figure experiment runners (§3 of the paper).
+
+Every runner is deterministic: the simulation has no measurement noise, so
+single runs give exact ratios.  ``scale="small"`` (default) keeps sweeps
+laptop-sized; ``scale="paper"`` uses the paper's 2–64 nodes × 32 ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.apps import get_app
+from repro.apps import osu
+from repro.apps.base import AppSpec
+from repro.hardware.cluster import Cluster, cori, local_cluster, make_cluster
+from repro.hardware.kernelmodel import PATCHED, UNPATCHED, KernelModel
+from repro.harness.results import Table
+from repro.mana.job import launch_mana, restart
+from repro.mpilib.launcher import launch
+from repro.runtime.native import NativeJob
+from repro.simtime import Engine
+
+MB = 1 << 20
+GB = 1 << 30
+
+PAPER_APPS = ["gromacs", "minife", "hpcg", "clamr", "lulesh"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    node_counts: tuple[int, ...]
+    ranks_per_node: int
+    single_node_ranks: tuple[int, ...]
+    n_steps: int
+    osu_sizes: tuple[int, ...]
+
+
+SCALES = {
+    "small": Scale(
+        node_counts=(2, 4, 8),
+        ranks_per_node=8,
+        single_node_ranks=(1, 2, 4, 8, 16),
+        n_steps=6,
+        osu_sizes=(64, 1 << 12, 1 << 16, 1 << 20, 4 << 20),
+    ),
+    "medium": Scale(
+        node_counts=(2, 8, 32),
+        ranks_per_node=16,
+        single_node_ranks=(1, 2, 4, 8, 16, 32),
+        n_steps=8,
+        osu_sizes=tuple(1 << k for k in range(3, 23, 2)),
+    ),
+    "paper": Scale(
+        node_counts=(2, 4, 8, 16, 32, 64),
+        ranks_per_node=32,
+        single_node_ranks=(1, 2, 4, 8, 16, 32),
+        n_steps=10,
+        osu_sizes=tuple(1 << k for k in range(3, 23)),
+    ),
+}
+
+
+def _lulesh_total_ranks(requested: int) -> int:
+    from repro.apps.lulesh import cube_ranks
+
+    return cube_ranks(requested)
+
+
+# ------------------------------------------------------------ app running
+
+def _run_native(cluster: Cluster, spec: AppSpec, cfg, n_ranks: int,
+                ranks_per_node: Optional[int]) -> float:
+    engine = Engine()
+    world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node)
+    factory = spec.build(cfg)
+    programs = [factory(r, n_ranks) for r in range(n_ranks)]
+    return NativeJob(engine, world, programs).run_to_completion()
+
+
+def _launch_mana_app(cluster: Cluster, spec: AppSpec, cfg, n_ranks: int,
+                     ranks_per_node: Optional[int]):
+    from repro.mana.split_process import fixed_upper_bytes
+
+    # The app's memory model gives the *target image size*; the app-data
+    # region is that minus the fixed upper-half furniture (app text, the
+    # duplicated MPI copy, stack, environ, TLS, base heap).
+    fixed = fixed_upper_bytes()
+
+    def app_data(rank: int) -> int:
+        return max(1 << 20, spec.memory_bytes(cfg, rank, n_ranks) - fixed)
+
+    return launch_mana(
+        cluster, spec.build(cfg), n_ranks=n_ranks,
+        ranks_per_node=ranks_per_node, app_mem_bytes=app_data,
+    ).start()
+
+
+def _run_mana(cluster: Cluster, spec: AppSpec, cfg, n_ranks: int,
+              ranks_per_node: Optional[int]) -> float:
+    return _launch_mana_app(
+        cluster, spec, cfg, n_ranks, ranks_per_node
+    ).run_to_completion()
+
+
+def _overhead_row(cluster: Cluster, app: str, n_ranks: int,
+                  ranks_per_node: Optional[int], n_steps: int) -> tuple:
+    spec = get_app(app)
+    cfg = spec.default_config.scaled(n_steps=n_steps)
+    t_native = _run_native(cluster, spec, cfg, n_ranks, ranks_per_node)
+    t_mana = _run_mana(cluster, spec, cfg, n_ranks, ranks_per_node)
+    normalized = 100.0 * t_native / t_mana
+    return (app, n_ranks, t_native, t_mana, normalized)
+
+
+# ------------------------------------------------------------------ Fig 2
+
+def fig2_single_node_overhead(
+    scale: str = "small",
+    apps: Optional[list[str]] = None,
+    kernel: KernelModel = UNPATCHED,
+) -> Table:
+    """Single node: normalized performance under MANA (higher is better)."""
+    s = SCALES[scale]
+    table = Table(
+        "Figure 2: single-node runtime overhead under MANA (unpatched kernel)",
+        ["app", "ranks", "native_s", "mana_s", "normalized_pct"],
+    )
+    for app in (apps or PAPER_APPS):
+        ranks_list = (
+            [r for r in (1, 8, 27) if r <= max(s.single_node_ranks)]
+            if app == "lulesh" else s.single_node_ranks
+        )
+        for n_ranks in ranks_list:
+            cluster = make_cluster("single", 1, cores_per_node=32,
+                                   interconnect="aries", kernel=kernel,
+                                   default_mpi="craympich")
+            table.add(*_overhead_row(cluster, app, n_ranks, n_ranks, s.n_steps))
+    table.notes.append(
+        "paper: worst case 2.1% (GROMACS/16); most cases < 2% overhead"
+    )
+    return table
+
+
+# ------------------------------------------------------------------ Fig 3
+
+def fig3_multi_node_overhead(
+    scale: str = "small",
+    apps: Optional[list[str]] = None,
+) -> Table:
+    """Multi-node: normalized performance under MANA across node counts."""
+    s = SCALES[scale]
+    table = Table(
+        "Figure 3: multi-node runtime overhead under MANA",
+        ["app", "nodes", "ranks", "native_s", "mana_s", "normalized_pct"],
+    )
+    for app in (apps or PAPER_APPS):
+        for n_nodes in s.node_counts:
+            cluster = cori(n_nodes)
+            requested = n_nodes * s.ranks_per_node
+            n_ranks = (
+                _lulesh_total_ranks(requested) if app == "lulesh" else requested
+            )
+            rpn = None if app == "lulesh" else s.ranks_per_node
+            row = _overhead_row(cluster, app, n_ranks, rpn, s.n_steps)
+            table.add(row[0], n_nodes, *row[1:])
+    table.notes.append("paper: typically <2%; worst 4.5% (GROMACS/512 ranks)")
+    return table
+
+
+# ------------------------------------------------------------------ Fig 4
+
+def fig4_bandwidth_kernel_patch(scale: str = "small") -> Table:
+    """p2p bandwidth: native vs MANA on unpatched and patched kernels."""
+    s = SCALES[scale]
+    table = Table(
+        "Figure 4: point-to-point bandwidth vs message size",
+        ["size_bytes", "native_MBps", "mana_unpatched_MBps", "mana_patched_MBps"],
+    )
+    unpatched = make_cluster("u", 1, interconnect="aries", kernel=UNPATCHED)
+    patched = make_cluster("p", 1, interconnect="aries", kernel=PATCHED)
+    for size in s.osu_sizes:
+        native = osu.measure_bandwidth(unpatched, size, mana=False)
+        mana_u = osu.measure_bandwidth(unpatched, size, mana=True)
+        mana_p = osu.measure_bandwidth(patched, size, mana=True)
+        table.add(size, native / MB, mana_u / MB, mana_p / MB)
+    table.notes.append(
+        "paper: MANA degrades below ~1MB on the native kernel; the patched "
+        "kernel closes most of the gap"
+    )
+    return table
+
+
+# ------------------------------------------------------------------ Fig 5
+
+def fig5_osu_latency(scale: str = "small") -> Table:
+    """OSU latency: p2p ping-pong, Gather, Allreduce (2 ranks, 1 node)."""
+    s = SCALES[scale]
+    cluster = make_cluster("osu5", 1, interconnect="aries", kernel=UNPATCHED)
+    table = Table(
+        "Figure 5: OSU micro-benchmark latency (2 ranks, single node)",
+        ["benchmark", "size_bytes", "native_us", "mana_us"],
+    )
+    for size in s.osu_sizes:
+        native = osu.measure_latency(cluster, size, mana=False, n_iters=20)
+        mana = osu.measure_latency(cluster, size, mana=True, n_iters=20)
+        table.add("p2p-latency", size, native * 1e6, mana * 1e6)
+    for op in ("gather", "allreduce"):
+        for size in s.osu_sizes:
+            native = osu.measure_collective(cluster, op, size, mana=False,
+                                            n_iters=15)
+            mana = osu.measure_collective(cluster, op, size, mana=True,
+                                          n_iters=15)
+            table.add(op, size, native * 1e6, mana * 1e6)
+    table.notes.append("paper: MANA curves closely follow native")
+    return table
+
+
+# ------------------------------------------------------------------ Fig 6
+
+def _checkpoint_after_steps(cluster, spec, cfg, n_ranks, rpn):
+    job = _launch_mana_app(cluster, spec, cfg, n_ranks, rpn)
+    # Let the app get ~2 steps in so real traffic is in flight, then cut.
+    job.run_until(job.engine.now + 2.2 * cfg.compute_per_step)
+    ckpt, report = job.checkpoint()
+    return job, ckpt, report
+
+
+def fig6_checkpoint_time(
+    scale: str = "small",
+    apps: Optional[list[str]] = None,
+    n_steps: int = 4,
+) -> Table:
+    """Checkpoint time and per-rank image size across node counts."""
+    s = SCALES[scale]
+    table = Table(
+        "Figure 6: checkpoint time and image size per rank",
+        ["app", "nodes", "ranks", "ckpt_time_s", "image_MB_per_rank",
+         "total_GB"],
+    )
+    for app in (apps or PAPER_APPS):
+        spec = get_app(app)
+        for n_nodes in s.node_counts:
+            cluster = cori(n_nodes)
+            requested = n_nodes * s.ranks_per_node
+            n_ranks = (
+                _lulesh_total_ranks(requested) if app == "lulesh" else requested
+            )
+            rpn = None if app == "lulesh" else s.ranks_per_node
+            cfg = spec.default_config.scaled(n_steps=n_steps)
+            _job, ckpt, report = _checkpoint_after_steps(
+                cluster, spec, cfg, n_ranks, rpn
+            )
+            table.add(
+                app, n_nodes, n_ranks, report.total_time,
+                ckpt.total_bytes / n_ranks / MB, ckpt.total_bytes / GB,
+            )
+    table.notes.append(
+        "paper: 5.9 GB (GROMACS/64 ranks) to 4 TB (HPCG/2048 ranks); time "
+        "proportional to data written, bottlenecked by the slowest rank"
+    )
+    return table
+
+
+# ------------------------------------------------------------------ Fig 7
+
+def fig7_restart_time(
+    scale: str = "small",
+    apps: Optional[list[str]] = None,
+    n_steps: int = 4,
+) -> Table:
+    """Restart time across node counts (read-dominated)."""
+    s = SCALES[scale]
+    table = Table(
+        "Figure 7: restart time",
+        ["app", "nodes", "ranks", "restart_s", "read_s", "replay_s"],
+    )
+    for app in (apps or PAPER_APPS):
+        spec = get_app(app)
+        for n_nodes in s.node_counts:
+            cluster = cori(n_nodes)
+            requested = n_nodes * s.ranks_per_node
+            n_ranks = (
+                _lulesh_total_ranks(requested) if app == "lulesh" else requested
+            )
+            rpn = None if app == "lulesh" else s.ranks_per_node
+            cfg = spec.default_config.scaled(n_steps=n_steps)
+            _job, ckpt, _report = _checkpoint_after_steps(
+                cluster, spec, cfg, n_ranks, rpn
+            )
+            job2 = restart(ckpt, cori(n_nodes), spec.build(cfg),
+                           ranks_per_node=rpn)
+            job2.run_to_completion()
+            rep = job2.restart_report
+            table.add(app, n_nodes, n_ranks, rep.total_time, rep.read_time,
+                      rep.replay_time)
+    table.notes.append(
+        "paper: <10 s to 68 s (HPCG/2048 ranks); dominated by reading "
+        "images; opaque-id recreation <10% of restart"
+    )
+    return table
+
+
+# ------------------------------------------------------------------ Fig 8
+
+def fig8_ckpt_breakdown(
+    scale: str = "small",
+    apps: Optional[list[str]] = None,
+    n_steps: int = 4,
+) -> Table:
+    """Contribution of write / drain / protocol-comm to checkpoint time at
+    the largest node count of the sweep."""
+    s = SCALES[scale]
+    n_nodes = s.node_counts[-1]
+    table = Table(
+        f"Figure 8: checkpoint-time breakdown at {n_nodes} nodes",
+        ["app", "ranks", "write_pct", "drain_pct", "comm_pct",
+         "drain_s", "comm_s"],
+    )
+    for app in (apps or PAPER_APPS):
+        spec = get_app(app)
+        cluster = cori(n_nodes)
+        requested = n_nodes * s.ranks_per_node
+        n_ranks = (
+            _lulesh_total_ranks(requested) if app == "lulesh" else requested
+        )
+        rpn = None if app == "lulesh" else s.ranks_per_node
+        cfg = spec.default_config.scaled(n_steps=n_steps)
+        _job, _ckpt, report = _checkpoint_after_steps(
+            cluster, spec, cfg, n_ranks, rpn
+        )
+        total = report.total_time or 1.0
+        table.add(
+            app, n_ranks,
+            100 * report.write_time / total,
+            100 * report.drain_time / total,
+            100 * report.comm_overhead / total,
+            report.drain_time, report.comm_overhead,
+        )
+    table.notes.append(
+        "paper (64 nodes): write dominates; drain <0.7 s; 2-phase comm "
+        "<1.6 s, growing with rank count via coordinator TCP metadata"
+    )
+    return table
+
+
+# ------------------------------------------------------------------ Fig 9
+
+def _steady_per_step(engine: Engine, states: list, trace_key: str,
+                     skip_to: int) -> float:
+    """Run the engine to completion and return the average per-step time
+    over the steps *after* the trace reaches ``skip_to`` entries — skipping
+    partial or warm-up steps that would skew the average."""
+    while len(states[0].get(trace_key, ())) < skip_to:
+        if not engine.step():
+            raise RuntimeError("job finished before reaching steady state")
+    t1 = engine.now
+    engine.run()
+    done = len(states[0][trace_key])
+    if done <= skip_to:
+        raise RuntimeError("no steady-state steps to measure")
+    return (engine.now - t1) / (done - skip_to)
+
+
+def fig9_cross_cluster_migration(n_steps: int = 14) -> Table:
+    """GROMACS migrated from Cori (Cray MPICH / Aries) to a local cluster,
+    restarted under three configurations; degradation vs native runs."""
+    spec = get_app("gromacs")
+    cfg = spec.default_config.scaled(n_steps=n_steps)
+    src = cori(4)
+
+    # Reference run on Cori (8 ranks over 4 nodes, 2 per node — §3.6).
+    t_full = _run_native(src, spec, cfg, n_ranks=8, ranks_per_node=2)
+
+    # Checkpoint at the halfway mark under MANA.
+    job = _launch_mana_app(src, spec, cfg, 8, 2)
+    ckpt, _ = job.checkpoint_at(t_full / 2)
+    steps_done = len(job.states[0]["step_trace"])
+    steps_left = cfg.n_steps - steps_done
+
+    configs = [
+        ("OpenMPI/IB (2x4)", local_cluster(2, "infiniband"), "openmpi", 4),
+        ("MPICH/TCP (2x4)", local_cluster(2, "tcp"), "mpich", 4),
+        ("MPICH (8x1)", local_cluster(1, "tcp"), "mpich", 8),
+    ]
+    table = Table(
+        "Figure 9: GROMACS cross-cluster migration (restarted vs native)",
+        ["config", "native_per_step_ms", "restarted_per_step_ms",
+         "degradation_pct"],
+    )
+    for label, dst, mpi, rpn in configs:
+        # Native reference on the target (same object files, local MPI);
+        # measured over steady-state steps, skipping the first.
+        engine = Engine()
+        world = launch(engine, dst, 8, ranks_per_node=rpn)
+        factory = spec.build(cfg)
+        njob = NativeJob(engine, world, [factory(r, 8) for r in range(8)])
+        njob.start()
+        native_per_step = _steady_per_step(
+            engine, njob.states, "step_trace", skip_to=1
+        )
+
+        job2 = restart(ckpt, dst, spec.build(cfg), mpi=mpi, ranks_per_node=rpn)
+        restarted_per_step = _steady_per_step(
+            job2.engine, job2.states, "step_trace", skip_to=steps_done + 1
+        )
+        degradation = 100.0 * (restarted_per_step / native_per_step - 1.0)
+        table.add(label, native_per_step * 1e3, restarted_per_step * 1e3,
+                  degradation)
+    table.notes.append("paper: degradation < 1.8% across all three configs")
+    return table
+
+
+# ------------------------------------------------------------- §3.2.2
+
+def memory_overhead_analysis(scale: str = "small") -> Table:
+    """Memory overhead of the split process: duplicated upper-half MPI text
+    and lower-half driver regions growing with node count."""
+    from repro.mana.split_process import SplitProcess
+    from repro.mpilib.impls import get_implementation
+    from repro.net import make_interconnect
+    from repro.net.fabrics import ShmemTransport
+
+    s = SCALES[scale]
+    table = Table(
+        "§3.2.2: split-process memory overhead",
+        ["nodes", "upper_mpi_copy_MB", "driver_shmem_MB", "lower_total_MB"],
+    )
+    for n_nodes in (2, 4, 8, 16, 32, 64):
+        engine = Engine()
+        impl = get_implementation("craympich")
+        proc = SplitProcess(0, UNPATCHED, app_mem_bytes=MB,
+                            upper_mpi_copy_bytes=impl.text_size)
+        fabric = make_interconnect("aries", engine)
+        shmem = ShmemTransport(engine)
+        proc.bootstrap_lower_half(impl, fabric, shmem, n_nodes,
+                                  s.ranks_per_node)
+        shmem_bytes = sum(
+            r.size for r in proc.space.regions()
+            if r.name == "aries-shmem"
+        )
+        table.add(
+            n_nodes,
+            proc.space.find("app-mpi-copy").size / MB,
+            shmem_bytes / MB,
+            proc.lower_bytes() / MB,
+        )
+    table.notes.append(
+        "paper: 26 MB duplicated text; driver shared memory 2 MB at 2 nodes "
+        "to 40 MB at 64 nodes — all discarded at checkpoint"
+    )
+    return table

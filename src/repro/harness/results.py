@@ -1,0 +1,79 @@
+"""Result containers and plain-text rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+@dataclass
+class Series:
+    """One line of a figure: (x, y) pairs with axis labels."""
+
+    name: str
+    x: list
+    y: list
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x/y length mismatch")
+
+    def as_rows(self) -> list[tuple]:
+        """The series as (x, y) tuples."""
+        return list(zip(self.x, self.y))
+
+
+@dataclass
+class Table:
+    """A figure reproduced as rows, plus free-form notes."""
+
+    title: str
+    columns: list[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row: Any) -> None:
+        """Append one row (arity-checked against the columns)."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"table {self.title!r}: row of {len(row)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        """All values of one named column."""
+        idx = self.columns.index(name)
+        return [r[idx] for r in self.rows]
+
+    def __str__(self) -> str:
+        return render_table(self)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(table: Table) -> str:
+    """GitHub-style plain-text table."""
+    cells = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells)) if cells else len(col)
+        for i, col in enumerate(table.columns)
+    ]
+    lines = [f"## {table.title}", ""]
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(table.columns, widths)))
+    lines.append("-|-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

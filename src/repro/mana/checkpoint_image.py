@@ -1,0 +1,120 @@
+"""Checkpoint images: upper-half memory plus MANA wrapper state.
+
+An image is what one rank's helper thread writes to stable storage.  It has
+
+* a *payload* — the pickled bytes actually restored at restart: interpreter
+  continuation, application ``ProgramState``, the upper heap, the virtual
+  handle descriptors, the record-replay log, p2p counters and the drained
+  message buffer;
+* a *modeled size* — the sum of the rank's upper-half region sizes, which is
+  what the Lustre model times and what Fig. 6 reports per rank.
+
+The image constructor enforces invariant 2 of DESIGN.md: regions tagged
+LOWER (or marked ephemeral) may never be captured.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.memory.region import Half, MemoryRegion
+
+
+class CheckpointError(RuntimeError):
+    """Image construction/restore violations."""
+
+
+@dataclass(frozen=True)
+class RegionDescriptor:
+    """Metadata of one saved region (layout restored verbatim)."""
+
+    name: str
+    kind: str
+    perm: int
+    size: int
+
+
+@dataclass
+class CheckpointImage:
+    """One rank's checkpoint."""
+
+    rank: int
+    #: modeled on-disk size in bytes (drives write/read timing)
+    size_bytes: int
+    #: descriptors of the saved upper-half regions
+    regions: tuple[RegionDescriptor, ...]
+    #: pickled restore payload
+    payload: bytes
+    #: wall-clock (virtual) time the image was cut
+    taken_at: float
+
+    @classmethod
+    def capture(
+        cls,
+        rank: int,
+        upper_regions: list[MemoryRegion],
+        state: dict,
+        taken_at: float,
+    ) -> "CheckpointImage":
+        """Build an image from a rank's upper half and wrapper state."""
+        for region in upper_regions:
+            if region.half is not Half.UPPER:
+                raise CheckpointError(
+                    f"rank {rank}: lower-half region {region.name!r} "
+                    "reached the checkpoint writer"
+                )
+            if region.ephemeral:
+                raise CheckpointError(
+                    f"rank {rank}: ephemeral region {region.name!r} "
+                    "reached the checkpoint writer"
+                )
+        descriptors = tuple(
+            RegionDescriptor(r.name, r.kind.value, r.perm.value, r.size)
+            for r in upper_regions
+        )
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        return cls(
+            rank=rank,
+            size_bytes=sum(r.size for r in upper_regions),
+            regions=descriptors,
+            payload=payload,
+            taken_at=taken_at,
+        )
+
+    def restore_state(self) -> dict:
+        """Unpickle the restore payload."""
+        return pickle.loads(self.payload)
+
+
+@dataclass
+class CheckpointSet:
+    """A coordinated checkpoint: one image per rank plus job metadata."""
+
+    images: list[CheckpointImage]
+    #: job facts a restart needs: n_ranks, app name, seed, source cluster...
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ranks = [img.rank for img in self.images]
+        if ranks != list(range(len(ranks))):
+            raise CheckpointError(
+                f"checkpoint set must cover ranks 0..n-1 in order, got {ranks}"
+            )
+
+    @property
+    def n_ranks(self) -> int:
+        """Number of ranks covered."""
+        return len(self.images)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all images' modeled sizes."""
+        return sum(img.size_bytes for img in self.images)
+
+    def image_for(self, rank: int) -> CheckpointImage:
+        """The image of one rank; raises CheckpointError if absent."""
+        if not 0 <= rank < self.n_ranks:
+            raise CheckpointError(f"no image for rank {rank}")
+        return self.images[rank]

@@ -1,0 +1,238 @@
+"""The checkpoint coordinator (Algorithm 2, coordinator side).
+
+Modeled after the DMTCP coordinator the paper extends (§2.7): a stateless
+central daemon talking TCP to each rank's helper thread.  The control plane
+charges a per-message serialization cost at the coordinator — the paper's
+observation that "the communication overhead associated with the TCP layer
+increases with the number of ranks, especially due to metadata in the case
+of small messages" (§3.4, Fig. 8) falls out of exactly this term.
+
+Checkpoint pipeline after the Algorithm-2 rounds converge:
+
+``do-ckpt`` → ranks quiesce and report send bookmarks → coordinator
+aggregates the expected receive totals → ``drain`` → ranks pull in-flight
+messages into upper-half buffers → ``write`` (durations from the Lustre
+burst model, stragglers included) → ``resume``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.hardware.storage import LustreModel
+from repro.mana.checkpoint_image import CheckpointImage, CheckpointSet
+from repro.mana.protocol import CkptMsg, RankCkptState
+from repro.simtime import Completion, Engine
+
+
+@dataclass
+class ControlPlaneModel:
+    """TCP control-plane timing between coordinator and rank helpers."""
+
+    #: one-way latency coordinator <-> compute node (management network)
+    latency: float = 100e-6
+    #: per-message CPU at the coordinator (serialize/accept/select)
+    per_message_cpu: float = 0.3e-3
+
+    def fanout_delay(self, index: int) -> float:
+        """Delivery delay of the ``index``-th message of a broadcast."""
+        return self.latency + (index + 1) * self.per_message_cpu
+
+    def reply_delay(self) -> float:
+        """Delivery delay of one rank->coordinator message."""
+        return self.latency + self.per_message_cpu
+
+
+@dataclass
+class CheckpointReport:
+    """Timing breakdown of one coordinated checkpoint (Fig. 8)."""
+
+    total_time: float
+    drain_time: float
+    write_time: float
+    comm_overhead: float
+    rounds: int
+    ckpt_set: CheckpointSet = None
+
+    @property
+    def image_sizes(self) -> list[int]:
+        """Per-rank image sizes in bytes."""
+        return [img.size_bytes for img in self.ckpt_set.images]
+
+
+class Coordinator:
+    """Drives Algorithm 2 and the checkpoint pipeline over all ranks."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        runtimes: list,
+        storage: LustreModel,
+        node_of: list[int],
+        rng: Optional[np.random.Generator] = None,
+        control: Optional[ControlPlaneModel] = None,
+    ) -> None:
+        self.engine = engine
+        self.runtimes = runtimes
+        self.storage = storage
+        self.node_of = list(node_of)
+        self.rng = rng
+        self.control = control if control is not None else ControlPlaneModel()
+        for rt in runtimes:
+            rt.reply_fn = self._reply_from_rank
+        self._phase: Optional[str] = None
+        self._replies: dict[int, Any] = {}
+        self._expect_kind: Optional[CkptMsg] = None
+        self._done: Optional[Completion] = None
+        self._report: Optional[CheckpointReport] = None
+        self._t0 = 0.0
+        self._t_drain_start = 0.0
+        self._t_drain_end = 0.0
+        self._t_write_start = 0.0
+        self._rounds = 0
+        self.checkpoints_taken = 0
+
+    # ------------------------------------------------------------ public
+
+    def request_checkpoint(self) -> Completion:
+        """Begin Algorithm 2; resolves with a :class:`CheckpointReport`."""
+        if self._done is not None and not self._done.done:
+            raise RuntimeError("a checkpoint is already in progress")
+        self._done = Completion(self.engine, label="coordinator:ckpt")
+        self._t0 = self.engine.now
+        self._rounds = 0
+        self._round(CkptMsg.INTEND_TO_CKPT)
+        return self._done
+
+    # ----------------------------------------------------------- messaging
+
+    def _broadcast(self, msg: CkptMsg, payload_fn: Callable[[int], Any]) -> None:
+        for i, rt in enumerate(self.runtimes):
+            self.engine.call_after(
+                self.control.fanout_delay(i), rt.on_ctrl, msg, payload_fn(i),
+                label=f"coord:{msg.value}->r{i}",
+            )
+
+    def _reply_from_rank(self, rank: int, msg: CkptMsg, payload: Any) -> None:
+        self.engine.call_after(
+            self.control.reply_delay(), self._on_reply, rank, msg, payload,
+            label=f"coord:reply<-r{rank}",
+        )
+
+    def _on_reply(self, rank: int, msg: CkptMsg, payload: Any) -> None:
+        if msg is CkptMsg.REVISE_IN_PHASE_1:
+            # The rank's earlier in-phase-1 reply went stale (its trivial
+            # barrier completed).  Un-count it, acknowledge (the rank parks
+            # until then), and wait for its deferred exit-phase-2.  The
+            # fully-entered-barrier check guarantees this can only arrive
+            # while the round is still collecting.
+            if self._phase != "collect-states":
+                raise RuntimeError(
+                    f"revision from rank {rank} outside a state round "
+                    f"(phase {self._phase!r})"
+                )
+            self._replies.pop(rank, None)
+            rt = self.runtimes[rank]
+            self.engine.call_after(
+                self.control.reply_delay(), rt.on_ctrl, CkptMsg.REVISE_ACK,
+                None, label=f"coord:revise-ack->r{rank}",
+            )
+            return
+        if msg is not self._expect_kind:
+            raise RuntimeError(
+                f"coordinator in phase {self._phase!r} got {msg} from rank "
+                f"{rank}, expected {self._expect_kind}"
+            )
+        if rank in self._replies:
+            raise RuntimeError(f"duplicate {msg} reply from rank {rank}")
+        self._replies[rank] = payload
+        if len(self._replies) == len(self.runtimes):
+            replies, self._replies = self._replies, {}
+            self._phase_complete(replies)
+
+    def _start_phase(self, phase: str, expect: CkptMsg) -> None:
+        self._phase = phase
+        self._expect_kind = expect
+        self._replies = {}
+
+    # -------------------------------------------------------- phase machine
+
+    def _needs_extra_iteration(self, replies: dict[int, Any]) -> bool:
+        """True if it is not yet safe to send do-ckpt.
+
+        Unsafe when (a) some rank reported ``exit-phase-2`` — Algorithm 2's
+        printed condition — or (b) every member of some communicator reports
+        ``in-phase-1`` on the *same* trivial barrier: that barrier will
+        complete and commit its ranks into phase 2 right after they replied
+        (the Challenge-I race), so the collective must be allowed to flow
+        through before checkpointing.
+        """
+        in_phase1: dict[int, tuple[set[int], tuple[int, ...]]] = {}
+        for rank, reply in replies.items():
+            if reply is RankCkptState.EXIT_PHASE_2:
+                return True
+            if isinstance(reply, tuple):
+                state, (ctx, members) = reply
+                assert state is RankCkptState.IN_PHASE_1
+                entry = in_phase1.setdefault(ctx, (set(), tuple(members)))
+                entry[0].add(rank)
+        return any(
+            waiting == set(members) for waiting, members in in_phase1.values()
+        )
+
+    def _round(self, msg: CkptMsg) -> None:
+        self._rounds += 1
+        self._start_phase("collect-states", CkptMsg.STATE_REPLY)
+        self._broadcast(msg, lambda i: None)
+
+    def _phase_complete(self, replies: dict[int, Any]) -> None:
+        phase = self._phase
+        if phase == "collect-states":
+            if self._needs_extra_iteration(replies):
+                # Algorithm 2 line 7 (plus the Challenge-I refinement):
+                # iterate while anyone exited phase 2, or while some trivial
+                # barrier is fully entered and therefore about to commit.
+                self._round(CkptMsg.EXTRA_ITERATION)
+                return
+            # all ready or safely parked in-phase-1: checkpoint is safe
+            self._start_phase("bookmarks", CkptMsg.BOOKMARKS)
+            self._broadcast(CkptMsg.DO_CKPT, lambda i: None)
+        elif phase == "bookmarks":
+            # expected receive total per rank = sum of everyone's sends to it
+            expected = [0] * len(self.runtimes)
+            for sent in replies.values():
+                for dst, count in sent.items():
+                    expected[dst] += count
+            self._t_drain_start = self.engine.now
+            self._start_phase("drain", CkptMsg.DRAINED)
+            self._broadcast(CkptMsg.DRAIN, lambda i: expected[i])
+        elif phase == "drain":
+            self._t_drain_end = self.engine.now
+            sizes = [int(replies[r]) for r in range(len(self.runtimes))]
+            report = self.storage.burst(sizes, self.node_of, rng=self.rng)
+            self._t_write_start = self.engine.now
+            self._start_phase("write", CkptMsg.WRITE_DONE)
+            self._broadcast(CkptMsg.WRITE, lambda i: float(report.per_rank[i]))
+        elif phase == "write":
+            images = [replies[r] for r in range(len(self.runtimes))]
+            t_write_end = self.engine.now
+            self._start_phase("idle", None)
+            self._broadcast(CkptMsg.RESUME, lambda i: None)
+            total = t_write_end - self._t0
+            drain = self._t_drain_end - self._t_drain_start
+            write = t_write_end - self._t_write_start
+            self.checkpoints_taken += 1
+            self._report = CheckpointReport(
+                total_time=total,
+                drain_time=drain,
+                write_time=write,
+                comm_overhead=max(0.0, total - drain - write),
+                rounds=self._rounds,
+                ckpt_set=CheckpointSet(images=images),
+            )
+            self._done.resolve(self._report)
+        else:
+            raise RuntimeError(f"unexpected phase completion in {phase!r}")

@@ -1,0 +1,275 @@
+"""Launching MPI applications under MANA, and restarting them anywhere.
+
+:func:`launch_mana` is ``mana_launch``: it starts an MPI job whose every
+rank runs inside a split process with the interposed API, and attaches a
+checkpoint coordinator.
+
+:func:`restart` is ``mana_restart``: given a :class:`CheckpointSet`, it
+builds a *new* MPI session — possibly a different implementation, a
+different interconnect, a different cluster, and a different ranks-per-node
+layout (§3.5, §3.6) — bootstraps fresh lower halves, replays each rank's
+record log to rebuild the opaque MPI state, restores the upper halves from
+the images, and resumes the application exactly where it was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.mana.checkpoint_image import CheckpointSet
+from repro.mana.coordinator import CheckpointReport, ControlPlaneModel, Coordinator
+from repro.mana.rank_runtime import ManaRankRuntime
+from repro.mana.split_process import SplitProcess
+from repro.mpilib.launcher import init_time, launch
+from repro.mprog.ast import Program
+from repro.mprog.interp import ProgramState
+from repro.simtime import Completion, Engine
+from repro.simtime.engine import all_of
+
+MB = 1 << 20
+
+ProgramFactory = Callable[[int, int], Program]
+
+
+@dataclass
+class RestartReport:
+    """Timing breakdown of one restart (Fig. 7)."""
+
+    total_time: float
+    read_time: float
+    replay_time: float
+    init_time: float
+
+
+class ManaJob:
+    """A running (or restarted) MANA job."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        world,
+        runtimes: list[ManaRankRuntime],
+        coordinator: Coordinator,
+        meta: Optional[dict] = None,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.world = world
+        self.runtimes = runtimes
+        self.coordinator = coordinator
+        self.meta = dict(meta or {})
+        self.finished = all_of(
+            engine, [rt.driver.finished for rt in runtimes], label="mana-job"
+        )
+        self.restart_report: Optional[RestartReport] = None
+
+    # ------------------------------------------------------------ execution
+
+    def start(self) -> "ManaJob":
+        """Begin execution (schedules the first event)."""
+        for rt in self.runtimes:
+            rt.driver.start()
+        return self
+
+    def run_until(self, t: float) -> float:
+        """Advance the simulation to absolute virtual time ``t``."""
+        return self.engine.run(until=t)
+
+    def run_to_completion(self) -> float:
+        """Run the engine until every rank finishes; returns elapsed virtual seconds."""
+        t0 = self.engine.now
+        self.engine.run()
+        if not self.finished.done:
+            stuck = [
+                f"{rt.driver.label}@{rt.driver.parked_at}"
+                for rt in self.runtimes if rt.driver.parked_at != "finished"
+            ]
+            raise RuntimeError(f"MANA job did not finish: {', '.join(stuck)}")
+        return self.engine.now - t0
+
+    @property
+    def states(self) -> list[ProgramState]:
+        """Each rank's live ProgramState, by rank."""
+        return [rt.driver.interp.state for rt in self.runtimes]
+
+    def enable_profiling(self) -> None:
+        """Turn on PMPI-style call tracing on every rank (§4.2: substitute a
+        profiling MPI mid-run by enabling this after a restart)."""
+        for rt in self.runtimes:
+            rt.profile = {}
+
+    def call_profile(self) -> dict:
+        """Aggregated (count, bytes) per interposed operation across ranks."""
+        out: dict = {}
+        for rt in self.runtimes:
+            for op, (count, nbytes) in (rt.profile or {}).items():
+                c0, b0 = out.get(op, (0, 0))
+                out[op] = (c0 + count, b0 + nbytes)
+        return out
+
+    # ----------------------------------------------------------- checkpoint
+
+    def checkpoint(self) -> tuple[CheckpointSet, CheckpointReport]:
+        """Trigger a coordinated checkpoint *now* and run the simulation
+        until it completes; the application continues afterwards."""
+        done = self.coordinator.request_checkpoint()
+        guard = self.engine.now
+        while not done.done:
+            if not self.engine.step():
+                raise RuntimeError(
+                    "checkpoint protocol stalled: no events pending"
+                )
+        report: CheckpointReport = done.value
+        report.ckpt_set.meta.update(self.meta)
+        report.ckpt_set.meta["taken_at"] = self.engine.now
+        report.ckpt_set.meta["source_cluster"] = self.cluster.name
+        report.ckpt_set.meta["source_mpi"] = self.world.impl.name
+        return report.ckpt_set, report
+
+    def checkpoint_at(self, t: float) -> tuple[CheckpointSet, CheckpointReport]:
+        """Run until virtual time ``t``, then checkpoint."""
+        self.run_until(t)
+        return self.checkpoint()
+
+
+def _build_runtimes(
+    engine: Engine,
+    cluster: Cluster,
+    world,
+    program_factory: ProgramFactory,
+    app_mem_bytes: Union[int, Callable[[int], int]],
+    states: Optional[list[ProgramState]] = None,
+) -> list[ManaRankRuntime]:
+    n_ranks = world.size
+    n_nodes = len(set(world.placement))
+    ranks_per_node = max(
+        world.placement.count(n) for n in set(world.placement)
+    )
+    runtimes = []
+    for rank in range(n_ranks):
+        node = cluster.node(world.node_of(rank))
+        mem = app_mem_bytes(rank) if callable(app_mem_bytes) else app_mem_bytes
+        proc = SplitProcess(
+            rank, node.kernel, app_mem_bytes=mem,
+            upper_mpi_copy_bytes=world.impl.text_size,
+        )
+        proc.bootstrap_lower_half(
+            world.impl, world.fabric, world.shmem, n_nodes, ranks_per_node
+        )
+        rt = ManaRankRuntime(
+            engine, rank, n_ranks, proc, world.endpoints[rank],
+            program_factory(rank, n_ranks),
+            state=states[rank] if states else None,
+            core_speed=node.core_speed,
+        )
+        runtimes.append(rt)
+    return runtimes
+
+
+def launch_mana(
+    cluster: Cluster,
+    program_factory: ProgramFactory,
+    n_ranks: int,
+    ranks_per_node: Optional[int] = None,
+    mpi: Optional[str] = None,
+    engine: Optional[Engine] = None,
+    app_mem_bytes: Union[int, Callable[[int], int]] = 16 * MB,
+    seed: int = 0,
+    control: Optional[ControlPlaneModel] = None,
+    stragglers: bool = True,
+) -> ManaJob:
+    """Launch a program under MANA on ``cluster``.  Does not start the
+    drivers — call :meth:`ManaJob.start` (so tests can instrument first)."""
+    engine = engine if engine is not None else Engine()
+    world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node, mpi=mpi)
+    runtimes = _build_runtimes(
+        engine, cluster, world, program_factory, app_mem_bytes
+    )
+    rng = np.random.default_rng(seed) if stragglers else None
+    coordinator = Coordinator(
+        engine, runtimes, cluster.storage, list(world.placement),
+        rng=rng, control=control,
+    )
+    return ManaJob(
+        engine, cluster, world, runtimes, coordinator,
+        meta={"n_ranks": n_ranks, "seed": seed},
+    )
+
+
+def restart(
+    ckpt: CheckpointSet,
+    cluster: Cluster,
+    program_factory: ProgramFactory,
+    ranks_per_node: Optional[int] = None,
+    mpi: Optional[str] = None,
+    engine: Optional[Engine] = None,
+    seed: int = 0,
+    control: Optional[ControlPlaneModel] = None,
+    stragglers: bool = True,
+) -> ManaJob:
+    """Restart a checkpointed job on ``cluster`` — any implementation, any
+    interconnect, any rank layout.  Returns a job whose drivers resume once
+    init + image reads + record-replay have completed (all modeled on the
+    job's fresh engine); ``job.restart_report`` is filled in at that point.
+    """
+    engine = engine if engine is not None else Engine()
+    n_ranks = ckpt.n_ranks
+    world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node, mpi=mpi)
+
+    def mem_for(rank: int) -> int:
+        for desc in ckpt.image_for(rank).regions:
+            if desc.name == "app-data":
+                return desc.size
+        return 16 * MB
+
+    runtimes = _build_runtimes(
+        engine, cluster, world, program_factory, mem_for
+    )
+    rng = np.random.default_rng(seed) if stragglers else None
+    coordinator = Coordinator(
+        engine, runtimes, cluster.storage, list(world.placement),
+        rng=rng, control=control,
+    )
+    job = ManaJob(
+        engine, cluster, world, runtimes, coordinator,
+        meta=dict(ckpt.meta, restarted=True),
+    )
+
+    t_init = init_time(world.impl, n_ranks)
+    read = cluster.storage.burst(
+        [img.size_bytes for img in ckpt.images],
+        node_of=list(world.placement),
+        rng=rng, read=True,
+    )
+    t_read = read.max_time
+
+    def begin_replay() -> None:
+        replay_start = engine.now
+        replays = []
+        for rank, rt in enumerate(runtimes):
+            state = ckpt.image_for(rank).restore_state()
+            replays.append(rt.restore_from(state))
+        for rp in replays:
+            rp.start()
+
+        def resume_all(_values) -> None:
+            replay_time = engine.now - replay_start
+            job.restart_report = RestartReport(
+                total_time=engine.now,
+                read_time=t_read,
+                replay_time=replay_time,
+                init_time=t_init,
+            )
+            for rt in runtimes:
+                rt.finish_restore()
+
+        all_of(engine, [rp.finished for rp in replays],
+               label="restart-replay").on_done(resume_all)
+
+    engine.call_after(t_init + t_read, begin_replay, label="restart:begin")
+    return job

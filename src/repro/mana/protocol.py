@@ -1,0 +1,131 @@
+"""Algorithm 2's vocabulary and the rank-side state machine.
+
+Messages (coordinator → rank): ``intend-to-checkpoint``, ``extra-iteration``,
+``do-ckpt``; rank states reported back: ``ready``, ``in-phase-1``,
+``exit-phase-2`` (§2.5).
+
+One disambiguation of the published pseudocode, recorded here and in
+DESIGN.md: the *commit point* of a collective is the completion of its
+trivial barrier.  Once every rank of the communicator has entered phase 1,
+the barrier completes and all of them flow into phase 2 regardless of a
+pending checkpoint intent — this is what makes a rank already inside the
+real collective (Lemma 2 case b) able to finish, which Theorem 2's liveness
+argument requires.  Conversely, under a pending intent no rank may *enter*
+the wrapper (Algorithm 2 line 28, "wait before next coll. comm. call"), so
+any trivial barrier that is incomplete when the last ack is collected can
+never complete during the checkpoint window — which is what makes
+``in-phase-1`` a safe state to checkpoint (the trivial barrier is the one
+interruptible collective).  The coordinator loops extra iterations while any
+rank reports ``exit-phase-2``, exactly as printed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class CkptMsg(enum.Enum):
+    """Control-plane message types (coordinator ↔ rank helper)."""
+
+    INTEND_TO_CKPT = "intend-to-ckpt"
+    EXTRA_ITERATION = "extra-iteration"
+    DO_CKPT = "do-ckpt"
+    # checkpoint pipeline (DMTCP-style, after do-ckpt)
+    BOOKMARKS = "bookmarks"            # rank -> coord: per-peer send counts
+    DRAIN = "drain"                    # coord -> rank: expected recv totals
+    DRAINED = "drained"                # rank -> coord: drain complete + size
+    WRITE = "write"                    # coord -> rank: write your image
+    WRITE_DONE = "write-done"          # rank -> coord
+    RESUME = "resume"                  # coord -> rank: continue computing
+    # rank replies to intend/extra-iteration
+    STATE_REPLY = "state-reply"
+    #: unsolicited rank -> coordinator: "my in-phase-1 reply went stale —
+    #: the trivial barrier completed and I am committing into phase 2; wait
+    #: for my exit-phase-2".  Discovered necessary by the model checker: a
+    #: reply can be overtaken by the barrier completion (Challenge I).
+    REVISE_IN_PHASE_1 = "revise-in-phase-1"
+    #: coordinator -> rank: revision processed; proceed into phase 2
+    REVISE_ACK = "revise-ack"
+
+
+class RankCkptState(enum.Enum):
+    """What a rank reports to the coordinator (Algorithm 2)."""
+
+    READY = "ready"
+    IN_PHASE_1 = "in-phase-1"
+    EXIT_PHASE_2 = "exit-phase-2"
+
+
+class WrapperPhase(enum.Enum):
+    """Where a rank currently is relative to the collective wrapper."""
+
+    NONE = "none"              # not inside any collective wrapper
+    ENTRY_HELD = "entry-held"  # at wrapper entry, held by a pending intent
+    PHASE_1 = "phase-1"        # inside the trivial barrier
+    #: barrier completed after an in-phase-1 reply: the rank has sent a
+    #: revision and parks here until the coordinator acknowledges it
+    COMMIT_PENDING = "commit-pending"
+    PHASE_2 = "phase-2"        # inside the real collective (committed)
+
+
+class ProtocolMode(enum.Enum):
+    """Where a rank stands in the checkpoint protocol."""
+    NORMAL = "normal"
+    PRE_CKPT = "pre-ckpt"      # intend acked; wrapper entry gated
+    QUIESCED = "quiesced"      # do-ckpt received; rank frozen
+
+
+@dataclass
+class RankProtocol:
+    """Per-rank protocol bookkeeping, owned by the rank runtime.
+
+    The runtime consults :meth:`may_enter_wrapper` at wrapper entry and
+    reports through :meth:`classify` when an intend/extra-iteration message
+    arrives.  ``pending_reply`` is set while the rank is in phase 2 and owes
+    the coordinator a deferred ``exit-phase-2`` answer.
+    """
+
+    mode: ProtocolMode = ProtocolMode.NORMAL
+    phase: WrapperPhase = WrapperPhase.NONE
+    #: a reply owed to the coordinator once the rank exits phase 2
+    pending_reply: bool = False
+    #: set when the rank exited phase 2 during the current intent window
+    exited_phase2: bool = False
+    #: last reply was in-phase-1 and has not been revised — committing into
+    #: phase 2 while this is set requires sending REVISE_IN_PHASE_1
+    replied_in_phase1: bool = False
+
+    def may_enter_wrapper(self) -> bool:
+        """Algorithm 2 line 28: under a pending intent, hold at entry."""
+        return self.mode is ProtocolMode.NORMAL
+
+    def classify(self) -> Optional[RankCkptState]:
+        """State to report for an intend/extra-iteration message, or None if
+        the reply must wait until the rank leaves phase 2."""
+        if self.phase in (WrapperPhase.PHASE_2, WrapperPhase.COMMIT_PENDING):
+            return None
+        if self.exited_phase2:
+            # exited a collective since the last round: report it (once)
+            self.exited_phase2 = False
+            return RankCkptState.EXIT_PHASE_2
+        if self.phase is WrapperPhase.PHASE_1:
+            return RankCkptState.IN_PHASE_1
+        return RankCkptState.READY
+
+    def note_phase2_exit(self) -> bool:
+        """Called by the wrapper when the real collective finishes.
+
+        Returns True if a deferred reply is owed (the coordinator asked
+        while we were inside).
+        """
+        self.phase = WrapperPhase.NONE
+        if self.pending_reply:
+            # The deferred reply itself reports exit-phase-2; don't also
+            # flag it for the next round.
+            self.pending_reply = False
+            return True
+        if self.mode is not ProtocolMode.NORMAL:
+            self.exited_phase2 = True
+        return False

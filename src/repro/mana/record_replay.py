@@ -1,0 +1,221 @@
+"""Record-replay of persistent MPI calls (§2.2).
+
+"MPI calls with persistent effects (such as creation of these opaque
+objects) are recorded during runtime and replayed on restart."
+
+Each rank keeps an ordered log of the communicator-, topology- and
+datatype-shaping calls it made, with every handle argument expressed as a
+*virtual* id.  At restart, MANA replays the log against the fresh lower
+half: communicator-management entries are genuine collectives in the new
+MPI library, so all ranks replay concurrently and their calls match exactly
+as the originals did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mana.virtualize import HandleKind, VirtualHandleTable
+from repro.mpilib.comm import Group
+from repro.mpilib.datatypes import rebuild as rebuild_datatype
+from repro.simtime import Completion, Engine
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One recorded persistent call.
+
+    ``op`` names the MPI operation; ``args`` are plain data and virtual
+    handles only (picklable); ``result_vid`` is the virtual id the original
+    call produced (None for frees and for non-member comm_create/split
+    results).
+    """
+
+    op: str
+    args: tuple
+    result_vid: Optional[int]
+
+
+class RecordLog:
+    """Ordered per-rank log of persistent calls."""
+
+    def __init__(self) -> None:
+        self.entries: list[LogEntry] = []
+
+    def record(self, op: str, args: tuple, result_vid: Optional[int]) -> None:
+        """Append one persistent-call entry."""
+        self.entries.append(LogEntry(op, tuple(args), result_vid))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def snapshot(self) -> list[LogEntry]:
+        """Picklable representation for the checkpoint image."""
+        return list(self.entries)
+
+    def restore(self, entries: list[LogEntry]) -> None:
+        """Install state captured by :meth:`snapshot`."""
+        self.entries = list(entries)
+
+
+class ReplayEngine:
+    """Replays one rank's log against a fresh endpoint, rebinding virtuals.
+
+    Entries run strictly in order; communicator-management entries are real
+    collectives on the new world, so every participating rank's ReplayEngine
+    must be started before any of them can finish.  :attr:`finished`
+    resolves when the whole log has been replayed.
+    """
+
+    def __init__(self, engine: Engine, endpoint: Any, table: VirtualHandleTable,
+                 log: RecordLog, label: str = "replay") -> None:
+        self.engine = engine
+        self.endpoint = endpoint
+        self.table = table
+        self.log = log
+        self.finished = Completion(engine, label=f"{label}:finished")
+        self._idx = 0
+        self.replayed = 0
+
+    def start(self) -> None:
+        # COMM_WORLD is predefined: bind it before anything else.
+        """Begin execution (schedules the first event)."""
+        self.engine.call_after(0.0, self._step, label="replay:start")
+
+    # ------------------------------------------------------------ stepping
+
+    def _step(self) -> None:
+        if self._idx >= len(self.log.entries):
+            self.finished.resolve(self.replayed)
+            return
+        entry = self.log.entries[self._idx]
+        self._idx += 1
+        handler = getattr(self, f"_replay_{entry.op}", None)
+        if handler is None:
+            raise ValueError(f"no replay handler for op {entry.op!r}")
+        handler(entry)
+
+    def _continue(self, entry: LogEntry, real: Any) -> None:
+        if entry.result_vid is not None:
+            self.table.rebind(HandleKind.COMM, entry.result_vid, real)
+        self.replayed += 1
+        self._step()
+
+    def _resolve_comm(self, vid: int) -> Any:
+        return self.table.resolve(HandleKind.COMM, vid)
+
+    # ------------------------------------------------------------ handlers
+
+    def _replay_comm_dup(self, entry: LogEntry) -> None:
+        (parent_vid,) = entry.args
+        done = self.endpoint.comm_dup(self._resolve_comm(parent_vid))
+        done.on_done(lambda real: self._continue(entry, real))
+
+    def _replay_comm_split(self, entry: LogEntry) -> None:
+        parent_vid, color, key = entry.args
+        done = self.endpoint.comm_split(color, key, self._resolve_comm(parent_vid))
+        done.on_done(lambda real: self._continue(entry, real))
+
+    def _replay_comm_create(self, entry: LogEntry) -> None:
+        parent_vid, world_ranks = entry.args
+        done = self.endpoint.comm_create(
+            Group(tuple(world_ranks)), self._resolve_comm(parent_vid)
+        )
+        done.on_done(lambda real: self._continue(entry, real))
+
+    def _replay_cart_create(self, entry: LogEntry) -> None:
+        parent_vid, dims, periods = entry.args
+        done = self.endpoint.cart_create(
+            list(dims), list(periods), self._resolve_comm(parent_vid)
+        )
+        done.on_done(lambda real: self._continue(entry, real))
+
+    def _replay_graph_create(self, entry: LogEntry) -> None:
+        parent_vid, edges = entry.args
+        done = self.endpoint.graph_create(
+            [tuple(e) for e in edges], self._resolve_comm(parent_vid)
+        )
+        done.on_done(lambda real: self._continue(entry, real))
+
+    def _replay_comm_free(self, entry: LogEntry) -> None:
+        (vid,) = entry.args
+        # The create entry earlier in the log re-bound this vid; retire it
+        # again so the table converges to the pre-checkpoint bindings.
+        self.table.unregister(HandleKind.COMM, vid)
+        self.replayed += 1
+        self._step()
+
+    def _replay_type_create(self, entry: LogEntry) -> None:
+        (recipe, vid) = entry.args
+        real = rebuild_datatype(recipe)
+        self.table.rebind(HandleKind.DATATYPE, vid, real)
+        self.replayed += 1
+        self._step()
+
+    # --------------------------------------------------------- file ops
+
+    def _replay_file_open(self, entry: LogEntry) -> None:
+        from repro.mana.wrappers import FileBinding
+
+        vcomm, path, mode = entry.args
+        done = self.endpoint.file_open(path, mode, self._resolve_comm(vcomm))
+
+        def rebind(real: Any) -> None:
+            self.table.rebind(
+                HandleKind.FILE, entry.result_vid,
+                FileBinding(real=real, vcomm=vcomm, path=path, mode=mode),
+            )
+            self.replayed += 1
+            self._step()
+
+        done.on_done(rebind)
+
+    def _replay_file_close(self, entry: LogEntry) -> None:
+        (vid,) = entry.args
+        binding = self.table.resolve(HandleKind.FILE, vid)
+        binding.real.close()
+        self.table.unregister(HandleKind.FILE, vid)
+        self.replayed += 1
+        self._step()
+
+    # ------------------------------------------------- group ops (local)
+
+    def _rebind_group(self, entry: LogEntry, group: Group) -> None:
+        self.table.rebind(HandleKind.GROUP, entry.result_vid, group)
+        self.replayed += 1
+        self._step()
+
+    def _replay_comm_group(self, entry: LogEntry) -> None:
+        (parent_vid,) = entry.args
+        self._rebind_group(entry, self._resolve_comm(parent_vid).group)
+
+    def _resolve_group(self, vid: int) -> Group:
+        return self.table.resolve(HandleKind.GROUP, vid)
+
+    def _replay_group_incl(self, entry: LogEntry) -> None:
+        vgroup, ranks = entry.args
+        self._rebind_group(entry, self._resolve_group(vgroup).incl(list(ranks)))
+
+    def _replay_group_excl(self, entry: LogEntry) -> None:
+        vgroup, ranks = entry.args
+        self._rebind_group(entry, self._resolve_group(vgroup).excl(list(ranks)))
+
+    def _replay_group_union(self, entry: LogEntry) -> None:
+        va, vb = entry.args
+        self._rebind_group(
+            entry, self._resolve_group(va).union(self._resolve_group(vb))
+        )
+
+    def _replay_group_intersection(self, entry: LogEntry) -> None:
+        va, vb = entry.args
+        self._rebind_group(
+            entry,
+            self._resolve_group(va).intersection(self._resolve_group(vb)),
+        )
+
+    def _replay_group_free(self, entry: LogEntry) -> None:
+        (vid,) = entry.args
+        self.table.unregister(HandleKind.GROUP, vid)
+        self.replayed += 1
+        self._step()

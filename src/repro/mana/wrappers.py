@@ -1,0 +1,780 @@
+"""MANA's interposed MPI API (the virtualized MPI of §2.2–§2.5).
+
+Every method here is what the application's MPI call resolves to under MANA.
+Each call:
+
+1. charges two FS-register switches (upper→lower→upper, §3.3) at the node
+   kernel's price, plus one modeled hash lookup per translated handle and a
+   metadata-recording cost for p2p calls;
+2. translates virtual handles to the current lower half's real objects;
+3. for p2p — updates the send/receive counters the drain protocol uses, and
+   consults the upper-half drained-message buffer before touching the lower
+   half (messages saved across a checkpoint are delivered from the buffer);
+4. for collectives — runs the **two-phase wrapper** of Algorithm 1:
+   a trivial barrier (interruptible, lower-half-only, re-issued after
+   restart) and then the real collective, with the entry gate of
+   Algorithm 2 line 28 applied while a checkpoint intent is pending;
+5. for persistent calls (communicator/topology/datatype creation) — records
+   the call in the replay log and registers the result under a fresh
+   virtual handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.mana.protocol import ProtocolMode, WrapperPhase
+from repro.mana.virtualize import (
+    LOOKUP_COST,
+    VCOMM_WORLD,
+    HandleKind,
+    VirtualizationError,
+)
+from repro.mpilib.comm import ANY_SOURCE, ANY_TAG, Communicator, Group
+from repro.mpilib.datatypes import Datatype, contiguous, struct, vector
+from repro.mpilib.ops import ReduceOp
+from repro.mpilib.world import Status
+from repro.runtime.api import MpiApi
+from repro.simtime import Completion
+
+#: Modeled cost of recording send/recv metadata (§3.3's second overhead).
+P2P_METADATA_COST = 60e-9
+
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FileBinding:
+    """Wrapper-side record behind a virtual file handle: the live lower-half
+    :class:`~repro.mpilib.io.MpiFile` plus the facts replay needs."""
+
+    real: Any
+    vcomm: int
+    path: str
+    mode: str
+
+
+class ManaApi(MpiApi):
+    """The application's view of MPI under MANA."""
+
+    def __init__(self, runtime: "repro.mana.rank_runtime.ManaRankRuntime") -> None:
+        self.rt = runtime
+
+    # ----------------------------------------------------------- properties
+
+    @property
+    def rank(self) -> int:
+        """This rank's index in MPI_COMM_WORLD."""
+        return self.rt.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in MPI_COMM_WORLD."""
+        return self.rt.n_ranks
+
+    @property
+    def comm_world(self) -> int:
+        """The world communicator handle."""
+        return VCOMM_WORLD
+
+    # ------------------------------------------------------------- plumbing
+
+    def _resolve_comm(self, vcomm: Optional[int]) -> Communicator:
+        return self.rt.table.resolve(
+            HandleKind.COMM, VCOMM_WORLD if vcomm is None else vcomm
+        )
+
+    def _overhead(self, handles: int = 1, p2p: bool = False) -> float:
+        cost = self.rt.proc.fs_transition_cost() + handles * LOOKUP_COST
+        if p2p:
+            cost += P2P_METADATA_COST
+        return cost
+
+    def _after_overhead(self, cost: float, fn: Callable[[], None]) -> None:
+        """Charge interposition cost *serially* on this rank's CPU.
+
+        Back-to-back wrapper calls issued from one leaf (e.g. the sends and
+        receives of an exchange) each occupy the CPU for their FS switches
+        and table lookups one after another, exactly as the real wrapper
+        does — this is what makes call-dense workloads (GROMACS) show
+        percentage overhead while batched transfers still overlap on the
+        wire.
+        """
+        engine = self.rt.engine
+        start = max(engine.now, self.rt.cpu_busy_until)
+        fire_at = start + cost
+        self.rt.cpu_busy_until = fire_at
+        engine.call_at(fire_at, fn, label=f"mana-r{self.rank}:wrapper")
+
+    # ------------------------------------------------------------------ p2p
+
+    def send(self, dest: int, data: Any, tag: int = 0,
+             comm: Optional[int] = None, size: Optional[int] = None) -> Completion:
+        """MPI_Send (blocking; resolves when the buffer is reusable)."""
+        real = self._resolve_comm(comm)
+        real.validate_rank(dest)
+        dst_world = real.world_of_rank(dest)
+        # Metadata recorded at call time: this is the sender-side bookmark.
+        self.rt.counters.count_send(dst_world)
+        self.rt.profile_op("send", size if size is not None else 0)
+        out = Completion(self.rt.engine, label=f"mana-send-r{self.rank}")
+
+        def issue() -> None:
+            self.rt.endpoint.send(
+                dest, data, tag=tag, comm=real, size=size
+            ).on_done(out.resolve)
+
+        self._after_overhead(self._overhead(p2p=True), issue)
+        return out
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             comm: Optional[int] = None) -> Completion:
+        """MPI_Recv; resolves with (data, Status)."""
+        vcomm = VCOMM_WORLD if comm is None else comm
+        real = self._resolve_comm(comm)
+        real.validate_rank(source, allow_any=True)
+        src_world = (
+            ANY_SOURCE if source == ANY_SOURCE else real.world_of_rank(source)
+        )
+        self.rt.profile_op("recv")
+        out = Completion(self.rt.engine, label=f"mana-recv-r{self.rank}")
+        pend = self.rt.add_pending_recv(vcomm, src_world, tag, out)
+
+        def attempt() -> None:
+            self.rt.attempt_recv(pend)
+
+        pend.attempt = attempt
+        self._after_overhead(self._overhead(p2p=True), attempt)
+        return out
+
+    def sendrecv(self, dest: int, data: Any, source: int,
+                 tag: int = 0, comm: Optional[int] = None,
+                 size: Optional[int] = None) -> Completion:
+        """Combined send+recv, checkpoint-safe: the send half is guarded to
+        happen exactly once per dynamic call-leaf instance, so a restart
+        that re-executes the leaf (after the original send was drained into
+        the peer's buffer) does not duplicate the message."""
+        self.rt.guarded_send(
+            lambda: self.send(dest, data, tag=tag, comm=comm, size=size)
+        )
+        return self.recv(source=source, tag=tag, comm=comm)
+
+    def exchange(self, sends: list, recvs: list,
+                 comm: Optional[int] = None) -> Completion:
+        """Batched neighbour exchange: post all sends (exactly once per
+        dynamic leaf instance) and all receives; resolves with the list of
+        (data, status) results in ``recvs`` order.  This is the idiomatic
+        halo-exchange call — all transfers proceed concurrently, like
+        isend/irecv + waitall in real MPI.
+
+        ``sends``: (dest, data, tag, size) tuples; ``recvs``: (source, tag)
+        tuples.
+        """
+        from repro.simtime.engine import all_of
+
+        for dest, data, tag, size in sends:
+            self.rt.guarded_send(
+                lambda d=dest, x=data, t=tag, z=size:
+                    self.send(d, x, tag=t, comm=comm, size=z)
+            )
+        outs = [self.recv(source=src, tag=tag, comm=comm)
+                for src, tag in recvs]
+        return all_of(self.rt.engine, outs,
+                      label=f"mana-exchange-r{self.rank}")
+
+    # -------------------------------------------------- nonblocking p2p
+    #
+    # Requests are opaque handles (§2.2): the application holds small
+    # integers, the wrapper holds the persistent record.  A request posted
+    # before a checkpoint and waited after a restart works: completed
+    # results travel in the image; pending receives are re-posted into the
+    # fresh lower half by finish_restore.
+
+    def isend(self, dest: int, data: Any, tag: int = 0,
+              comm: Optional[int] = None, size: Optional[int] = None) -> int:
+        """MPI_Isend: returns a virtual request handle immediately."""
+        rec, fresh = self.rt.vreq_at_site("send")
+        if fresh:
+            self.send(dest, data, tag=tag, comm=comm, size=size).on_done(
+                lambda _v: self.rt.vreq_resolve(rec, None)
+            )
+        return rec.vreq
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              comm: Optional[int] = None) -> int:
+        """MPI_Irecv: returns a virtual request handle immediately."""
+        rec, fresh = self.rt.vreq_at_site("recv")
+        if fresh:
+            vcomm = VCOMM_WORLD if comm is None else comm
+            real = self._resolve_comm(comm)
+            real.validate_rank(source, allow_any=True)
+            rec.vcomm = vcomm
+            rec.tag = tag
+            rec.src_world = (
+                ANY_SOURCE if source == ANY_SOURCE
+                else real.world_of_rank(source)
+            )
+            attempt = self.rt.attach_irecv(rec)
+            self._after_overhead(self._overhead(p2p=True), attempt)
+        return rec.vreq
+
+    def _wait_p2p(self, rec) -> Completion:
+        rt = self.rt
+        out = Completion(rt.engine, label=f"mana-wait-p2p-r{self.rank}")
+
+        def finish(value: Any) -> None:
+            rec.done = True
+            rec.value = value
+            rt.defer_free("p2p", rec.vreq)
+            out.resolve(value)
+
+        def enter() -> None:
+            if rec.done:
+                finish(rec.value)
+            elif rec.completion is not None:
+                rec.completion.on_done(finish)
+            else:  # restored-but-unwaited send records resolve to None
+                finish(rec.value)
+
+        self._after_overhead(self._overhead(), enter)
+        return out
+
+    def waitall(self, vreqs: list[int], comm: Optional[int] = None) -> Completion:
+        """MPI_Waitall over p2p/collective requests; resolves with the list
+        of values in request order."""
+        from repro.simtime.engine import all_of
+
+        return all_of(self.rt.engine, [self.wait(v) for v in vreqs],
+                      label=f"mana-waitall-r{self.rank}")
+
+    # ------------------------------------------ collectives (Algorithm 1)
+
+    def _collective(
+        self,
+        label: str,
+        vcomm: Optional[int],
+        issue: Callable[[Communicator], Completion],
+    ) -> Completion:
+        """The two-phase wrapper: trivial barrier, then the real call."""
+        rt = self.rt
+        real = self._resolve_comm(vcomm)
+        rt.profile_op(label)
+        out = Completion(rt.engine, label=f"mana-{label}-r{self.rank}")
+
+        if not rt.two_phase_enabled:
+            # Ablation: bare interposition, no Algorithm-1 wrapper.
+            self._after_overhead(
+                self._overhead(), lambda: issue(real).on_done(out.resolve)
+            )
+            return out
+
+        def enter() -> None:
+            if not rt.protocol.may_enter_wrapper():
+                # Algorithm 2 line 28: hold before the collective call.
+                rt.hold_at_wrapper_entry(enter)
+                return
+            rt.protocol.phase = WrapperPhase.PHASE_1
+            rt.current_wrapper_comm = real
+            rt.stats.trivial_barriers += 1
+            barrier = rt.endpoint.barrier(real)
+            rt.current_trivial_barrier = barrier
+
+            def enter_phase2() -> None:
+                rt.protocol.phase = WrapperPhase.PHASE_2
+
+                def finished(value: Any) -> None:
+                    rt.current_wrapper_comm = None
+                    if rt.protocol.note_phase2_exit():
+                        rt.send_deferred_exit_reply()
+                    out.resolve(value)
+
+                issue(real).on_done(finished)
+
+            def committed(_value: Any) -> None:
+                # Barrier completion is the commit point: flow into phase 2
+                # even under a pending intent (see protocol.py docstring).
+                rt.current_trivial_barrier = None
+                if rt.protocol.replied_in_phase1 and \
+                        rt.protocol.mode is ProtocolMode.PRE_CKPT:
+                    # Synchronous revision rule (found by the model checker):
+                    # our in-phase-1 reply is stale; tell the coordinator
+                    # and park until it acknowledges, so no round can ever
+                    # complete against the stale reply.
+                    rt.protocol.replied_in_phase1 = False
+                    rt.protocol.pending_reply = True
+                    rt.protocol.phase = WrapperPhase.COMMIT_PENDING
+                    rt.await_revision_ack(enter_phase2)
+                else:
+                    # QUIESCED commits happen only after every image is on
+                    # disk (the barrier needs all members, and held members
+                    # are released by resume): the round is over, no
+                    # revision is owed.
+                    rt.protocol.replied_in_phase1 = False
+                    enter_phase2()
+
+            barrier.on_done(committed)
+
+        self._after_overhead(self._overhead(), enter)
+        return out
+
+    def barrier(self, comm: Optional[int] = None) -> Completion:
+        """MPI_Barrier."""
+        return self._collective("barrier", comm, lambda c: self.rt.endpoint.barrier(c))
+
+    def bcast(self, data: Any, root: int, comm: Optional[int] = None,
+              size: Optional[int] = None) -> Completion:
+        """MPI_Bcast from ``root``."""
+        return self._collective(
+            "bcast", comm,
+            lambda c: self.rt.endpoint.bcast(data, root, comm=c, size=size),
+        )
+
+    def reduce(self, data: Any, op: ReduceOp, root: int,
+               comm: Optional[int] = None, size: Optional[int] = None) -> Completion:
+        """MPI_Reduce to ``root``."""
+        return self._collective(
+            "reduce", comm,
+            lambda c: self.rt.endpoint.reduce(data, op, root, comm=c, size=size),
+        )
+
+    def allreduce(self, data: Any, op: ReduceOp, comm: Optional[int] = None,
+                  size: Optional[int] = None) -> Completion:
+        """MPI_Allreduce."""
+        return self._collective(
+            "allreduce", comm,
+            lambda c: self.rt.endpoint.allreduce(data, op, comm=c, size=size),
+        )
+
+    def gather(self, data: Any, root: int, comm: Optional[int] = None,
+               size: Optional[int] = None) -> Completion:
+        """MPI_Gather to ``root``."""
+        return self._collective(
+            "gather", comm,
+            lambda c: self.rt.endpoint.gather(data, root, comm=c, size=size),
+        )
+
+    def allgather(self, data: Any, comm: Optional[int] = None,
+                  size: Optional[int] = None) -> Completion:
+        """MPI_Allgather."""
+        return self._collective(
+            "allgather", comm,
+            lambda c: self.rt.endpoint.allgather(data, comm=c, size=size),
+        )
+
+    def scatter(self, chunks: Any, root: int, comm: Optional[int] = None,
+                size: Optional[int] = None) -> Completion:
+        """MPI_Scatter from ``root``."""
+        return self._collective(
+            "scatter", comm,
+            lambda c: self.rt.endpoint.scatter(chunks, root, comm=c, size=size),
+        )
+
+    def alltoall(self, chunks: list, comm: Optional[int] = None,
+                 size: Optional[int] = None) -> Completion:
+        """MPI_Alltoall."""
+        return self._collective(
+            "alltoall", comm,
+            lambda c: self.rt.endpoint.alltoall(chunks, comm=c, size=size),
+        )
+
+    def reduce_scatter(self, data: Any, op: ReduceOp, comm: Optional[int] = None,
+                       size: Optional[int] = None) -> Completion:
+        """MPI_Reduce_scatter (equal blocks)."""
+        return self._collective(
+            "reduce_scatter", comm,
+            lambda c: self.rt.endpoint.reduce_scatter(data, op, comm=c, size=size),
+        )
+
+    def scan(self, data: Any, op: ReduceOp, comm: Optional[int] = None,
+             size: Optional[int] = None) -> Completion:
+        """MPI_Scan (inclusive prefix reduction)."""
+        return self._collective(
+            "scan", comm,
+            lambda c: self.rt.endpoint.scan(data, op, comm=c, size=size),
+        )
+
+    # ----------------- nonblocking collectives (§4.2 future-work extension)
+    #
+    # The paper proposes: phase 1 becomes a nonblocking trivial barrier
+    # (MPI_Ibarrier) posted when the application posts the collective; the
+    # Wait/Test wrapper, once the Ibarrier has completed, runs the *actual*
+    # collective synchronously as phase 2.  Under a pending checkpoint
+    # intent the Ibarrier posting itself is deferred (it would otherwise
+    # register the rank in a barrier the protocol believes untouched), and
+    # across a restart the upper-half request record re-posts a fresh
+    # Ibarrier into the new lower half.
+
+    def _icollective(self, op: str, vcomm: Optional[int], args: tuple) -> Completion:
+        rt = self.rt
+        self._resolve_comm(vcomm)  # validates (and charges a lookup)
+        rec = rt.new_icoll(op, VCOMM_WORLD if vcomm is None else vcomm, args)
+        out = Completion(rt.engine, label=f"mana-i{op}-r{self.rank}")
+        self._after_overhead(self._overhead(), lambda: out.resolve(rec.vreq))
+        return out
+
+    def iallreduce(self, data: Any, op: ReduceOp, comm: Optional[int] = None,
+                   size: Optional[int] = None) -> Completion:
+        """Nonblocking allreduce; resolves with a virtual request handle."""
+        return self._icollective(
+            "allreduce", comm, (data, op.name, size)
+        )
+
+    def ibcast(self, data: Any, root: int, comm: Optional[int] = None,
+               size: Optional[int] = None) -> Completion:
+        """Nonblocking MPI_Ibcast; returns a virtual request handle."""
+        return self._icollective("bcast", comm, (data, root, size))
+
+    def ibarrier(self, comm: Optional[int] = None) -> Completion:
+        """Nonblocking MPI_Ibarrier; returns a request."""
+        return self._icollective("barrier", comm, ())
+
+    def _issue_phase2(self, rec) -> Completion:
+        from repro.mpilib.ops import ALL_OPS
+
+        real = self._resolve_comm(rec.vcomm)
+        ep = self.rt.endpoint
+        if rec.op == "allreduce":
+            data, op_name, size = rec.args
+            return ep.allreduce(data, ALL_OPS[op_name], comm=real, size=size)
+        if rec.op == "bcast":
+            data, root, size = rec.args
+            return ep.bcast(data, root, comm=real, size=size)
+        if rec.op == "barrier":
+            return ep.barrier(real)
+        raise ValueError(f"unknown nonblocking collective {rec.op!r}")
+
+    def wait(self, vreq: int) -> Completion:
+        """MPI_Wait on a nonblocking request — p2p or collective.
+
+        For collectives: completes phase 1 (the Ibarrier), commits, runs
+        phase 2 synchronously, resolves with the collective's result.  For
+        p2p: resolves with None (sends) or (data, status) (receives)."""
+        rt = self.rt
+        p2p = rt.vrequests.get(vreq)
+        if p2p is not None:
+            return self._wait_p2p(p2p)
+        rec = rt.icolls.get(vreq)
+        if rec is None:
+            raise VirtualizationError(f"unknown request handle {vreq}")
+        out = Completion(rt.engine, label=f"mana-wait-r{self.rank}")
+        real = self._resolve_comm(rec.vcomm)
+
+        def enter() -> None:
+            if rec.done:
+                rt.defer_free("icoll", rec.vreq)
+                out.resolve(rec.value)
+                return
+            if not rt.protocol.may_enter_wrapper():
+                rt.hold_at_wrapper_entry(enter)
+                return
+            if not rec.posted:
+                rt._post_icoll_barrier(rec)
+            rt.protocol.phase = WrapperPhase.PHASE_1
+            rt.current_wrapper_comm = real
+            rt.current_trivial_barrier = rec.barrier
+
+            def enter_phase2() -> None:
+                rt.protocol.phase = WrapperPhase.PHASE_2
+
+                def finished(value: Any) -> None:
+                    rt.current_wrapper_comm = None
+                    if rt.protocol.note_phase2_exit():
+                        rt.send_deferred_exit_reply()
+                    rec.done = True
+                    rec.value = value
+                    rt.defer_free("icoll", rec.vreq)
+                    out.resolve(value)
+
+                self._issue_phase2(rec).on_done(finished)
+
+            def committed(_value: Any) -> None:
+                rt.current_trivial_barrier = None
+                if rt.protocol.replied_in_phase1 and \
+                        rt.protocol.mode is ProtocolMode.PRE_CKPT:
+                    rt.protocol.replied_in_phase1 = False
+                    rt.protocol.pending_reply = True
+                    rt.protocol.phase = WrapperPhase.COMMIT_PENDING
+                    rt.await_revision_ack(enter_phase2)
+                else:
+                    rt.protocol.replied_in_phase1 = False
+                    enter_phase2()
+
+            rec.barrier.on_done(committed)
+
+        self._after_overhead(self._overhead(), enter)
+        return out
+
+    def test(self, vreq: int) -> Completion:
+        """MPI_Test: resolves with True if the request's phase-1 Ibarrier
+        has completed (the collective will then run at the next wait), else
+        False.  Purely local plus the interposition overhead."""
+        rt = self.rt
+        p2p = rt.vrequests.get(vreq)
+        if p2p is not None:
+            out = Completion(rt.engine, label=f"mana-test-r{self.rank}")
+            self._after_overhead(self._overhead(),
+                                 lambda: out.resolve(bool(p2p.done)))
+            return out
+        rec = rt.icolls.get(vreq)
+        if rec is None:
+            raise VirtualizationError(f"unknown request handle {vreq}")
+        out = Completion(rt.engine, label=f"mana-test-r{self.rank}")
+        self._after_overhead(
+            self._overhead(),
+            lambda: out.resolve(
+                rec.done or (rec.posted and rec.barrier is not None
+                             and rec.barrier.done)
+            ),
+        )
+        return out
+
+    # ----------------------- persistent calls: record, virtualize, replay
+
+    def _persistent(
+        self,
+        label: str,
+        vparent: Optional[int],
+        issue: Callable[[Communicator], Completion],
+        log_args: Callable[[int], tuple],
+    ) -> Completion:
+        """A communicator-management collective: two-phase wrapped AND
+        recorded.  Resolves with the new *virtual* handle (or None)."""
+        rt = self.rt
+        parent_vid = VCOMM_WORLD if vparent is None else vparent
+        out = Completion(rt.engine, label=f"mana-{label}-r{self.rank}")
+
+        def register(real_result: Any) -> None:
+            if real_result is None:
+                rt.log.record(label, log_args(parent_vid), None)
+                out.resolve(None)
+                return
+            vid = rt.register_comm(real_result)
+            rt.log.record(label, log_args(parent_vid), vid)
+            out.resolve(vid)
+
+        self._collective(label, vparent, issue).on_done(register)
+        return out
+
+    def comm_dup(self, comm: Optional[int] = None) -> Completion:
+        """MPI_Comm_dup (collective)."""
+        return self._persistent(
+            "comm_dup", comm,
+            lambda c: self.rt.endpoint.comm_dup(c),
+            lambda pv: (pv,),
+        )
+
+    def comm_split(self, color: int, key: int,
+                   comm: Optional[int] = None) -> Completion:
+        """MPI_Comm_split (collective); resolves with the new communicator or None."""
+        return self._persistent(
+            "comm_split", comm,
+            lambda c: self.rt.endpoint.comm_split(color, key, c),
+            lambda pv: (pv, color, key),
+        )
+
+    def comm_create(self, group, comm: Optional[int] = None) -> Completion:
+        """``group`` may be a Group value or a virtual group handle."""
+        if isinstance(group, int):
+            group = self._resolve_group(group)
+        return self._persistent(
+            "comm_create", comm,
+            lambda c: self.rt.endpoint.comm_create(group, c),
+            lambda pv: (pv, tuple(group.world_ranks)),
+        )
+
+    def cart_create(self, dims: list[int], periods: list[bool],
+                    comm: Optional[int] = None) -> Completion:
+        """MPI_Cart_create (collective); the result carries a CartTopology."""
+        return self._persistent(
+            "cart_create", comm,
+            lambda c: self.rt.endpoint.cart_create(dims, periods, c),
+            lambda pv: (pv, tuple(dims), tuple(bool(p) for p in periods)),
+        )
+
+    def graph_create(self, edges: list, comm: Optional[int] = None) -> Completion:
+        """MPI_Graph_create (collective)."""
+        return self._persistent(
+            "graph_create", comm,
+            lambda c: self.rt.endpoint.graph_create(edges, c),
+            lambda pv: (pv, tuple(tuple(e) for e in edges)),
+        )
+
+    def comm_free(self, vcomm: int) -> None:
+        """Local bookkeeping: retire the virtual handle, log the free."""
+        self.rt.unregister_comm(vcomm)
+        self.rt.log.record("comm_free", (vcomm,), None)
+
+    # --------------------------------------------------------------- files
+    #
+    # MPI-IO handles are opaque objects like communicators: virtualized,
+    # recorded, replayed.  Collective file operations go through the
+    # two-phase wrapper — a rank blocked in the synchronizing part of
+    # write_at_all is protected by the same invariant as any collective.
+
+    def file_open(self, path: str, mode: str = "rw",
+                  comm: Optional[int] = None) -> Completion:
+        """MPI_File_open (collective); resolves with a virtual file handle."""
+        rt = self.rt
+        vcomm = VCOMM_WORLD if comm is None else comm
+        out = Completion(rt.engine, label=f"mana-fopen-r{self.rank}")
+
+        def register(real: Any) -> None:
+            binding = FileBinding(real=real, vcomm=vcomm, path=path, mode=mode)
+            vid = rt.table.register(HandleKind.FILE, binding)
+            rt.log.record("file_open", (vcomm, path, mode), vid)
+            out.resolve(vid)
+
+        self._collective(
+            "file_open", comm,
+            lambda c: rt.endpoint.file_open(path, mode, c),
+        ).on_done(register)
+        return out
+
+    def _resolve_file(self, vfile: int) -> "FileBinding":
+        return self.rt.table.resolve(HandleKind.FILE, vfile)
+
+    def file_write_at(self, vfile: int, offset: int, data: bytes,
+                      size: Optional[int] = None) -> Completion:
+        """Independent write at an explicit offset."""
+        binding = self._resolve_file(vfile)
+        out = Completion(self.rt.engine, label=f"mana-fwrite-r{self.rank}")
+        self._after_overhead(
+            self._overhead(),
+            lambda: binding.real.write_at(offset, data, size=size)
+                            .on_done(out.resolve),
+        )
+        return out
+
+    def file_read_at(self, vfile: int, offset: int, length: int,
+                     size: Optional[int] = None) -> Completion:
+        """Independent read; resolves with the bytes."""
+        binding = self._resolve_file(vfile)
+        out = Completion(self.rt.engine, label=f"mana-fread-r{self.rank}")
+        self._after_overhead(
+            self._overhead(),
+            lambda: binding.real.read_at(offset, length, size=size)
+                            .on_done(out.resolve),
+        )
+        return out
+
+    def file_write_at_all(self, vfile: int, offset: int, data: bytes,
+                          size: Optional[int] = None) -> Completion:
+        """Collective write (two-phase wrapped)."""
+        binding = self._resolve_file(vfile)
+        return self._collective(
+            "file_write_at_all", binding.vcomm,
+            lambda _c: binding.real.write_at_all(offset, data, size=size),
+        )
+
+    def file_read_at_all(self, vfile: int, offset: int, length: int,
+                         size: Optional[int] = None) -> Completion:
+        """Collective read (two-phase wrapped)."""
+        binding = self._resolve_file(vfile)
+        return self._collective(
+            "file_read_at_all", binding.vcomm,
+            lambda _c: binding.real.read_at_all(offset, length, size=size),
+        )
+
+    def file_close(self, vfile: int) -> None:
+        """Close and retire the handle; recorded for replay."""
+        binding = self._resolve_file(vfile)
+        binding.real.close()
+        self.rt.table.unregister(HandleKind.FILE, vfile)
+        self.rt.log.record("file_close", (vfile,), None)
+
+    # --------------------------------------------------------------- groups
+    #
+    # Group operations are local in MPI, but groups are opaque handles and
+    # therefore recorded and replayed like every other persistent object
+    # (§2.2): an application that holds a group handle across a restart
+    # resolves it against the rebuilt table.
+
+    def comm_group(self, comm: Optional[int] = None) -> int:
+        """MPI_Comm_group: returns a virtual group handle."""
+        parent_vid = VCOMM_WORLD if comm is None else comm
+        group = self._resolve_comm(comm).group
+        vid = self.rt.table.register(HandleKind.GROUP, group)
+        self.rt.log.record("comm_group", (parent_vid,), vid)
+        return vid
+
+    def _resolve_group(self, vgroup: int) -> Group:
+        return self.rt.table.resolve(HandleKind.GROUP, vgroup)
+
+    def _derive_group(self, op: str, vgroup: int, arg, derived: Group) -> int:
+        vid = self.rt.table.register(HandleKind.GROUP, derived)
+        self.rt.log.record(op, (vgroup, arg), vid)
+        return vid
+
+    def group_incl(self, vgroup: int, ranks: list[int]) -> int:
+        """MPI_Group_incl."""
+        g = self._resolve_group(vgroup)
+        return self._derive_group("group_incl", vgroup, tuple(ranks),
+                                  g.incl(ranks))
+
+    def group_excl(self, vgroup: int, ranks: list[int]) -> int:
+        """MPI_Group_excl."""
+        g = self._resolve_group(vgroup)
+        return self._derive_group("group_excl", vgroup, tuple(ranks),
+                                  g.excl(ranks))
+
+    def group_union(self, va: int, vb: int) -> int:
+        """MPI_Group_union."""
+        g = self._resolve_group(va).union(self._resolve_group(vb))
+        return self._derive_group("group_union", va, vb, g)
+
+    def group_intersection(self, va: int, vb: int) -> int:
+        """MPI_Group_intersection."""
+        g = self._resolve_group(va).intersection(self._resolve_group(vb))
+        return self._derive_group("group_intersection", va, vb, g)
+
+    def group_free(self, vgroup: int) -> None:
+        """MPI_Group_free: retire the handle (recorded for replay)."""
+        self.rt.table.unregister(HandleKind.GROUP, vgroup)
+        self.rt.log.record("group_free", (vgroup,), None)
+
+    def group_size(self, vgroup: int) -> int:
+        """Number of ranks in the group."""
+        return self._resolve_group(vgroup).size
+
+    def group_rank(self, vgroup: int) -> Optional[int]:
+        """This rank's position in the group (None = MPI_UNDEFINED)."""
+        return self._resolve_group(vgroup).rank_of(self.rank)
+
+    # ------------------------------------------------------------ datatypes
+
+    def _new_type(self, dtype: Datatype) -> int:
+        vid = self.rt.table.register(HandleKind.DATATYPE, dtype)
+        self.rt.log.record("type_create", (dtype.recipe, vid), vid)
+        return vid
+
+    def type_contiguous(self, count: int, base: Datatype) -> int:
+        """MPI_Type_contiguous; returns a virtual datatype handle."""
+        return self._new_type(contiguous(count, base))
+
+    def type_vector(self, count: int, blocklength: int, stride: int,
+                    base: Datatype) -> int:
+        """MPI_Type_vector; returns a virtual datatype handle."""
+        return self._new_type(vector(count, blocklength, stride, base))
+
+    def type_struct(self, fields: list) -> int:
+        """MPI_Type_create_struct; returns a virtual datatype handle."""
+        return self._new_type(struct(fields))
+
+    def resolve_type(self, vid: int) -> Datatype:
+        """Virtual datatype handle -> Datatype (for size computations)."""
+        return self.rt.table.resolve(HandleKind.DATATYPE, vid)
+
+    # ------------------------------------------------------------ local ops
+
+    def comm_size(self, comm: Any) -> int:
+        """MPI_Comm_size."""
+        return self._resolve_comm(comm).size
+
+    def comm_rank(self, comm: Any) -> Optional[int]:
+        """MPI_Comm_rank (None for non-members)."""
+        return self._resolve_comm(comm).rank_of_world(self.rank)
+
+    def topology(self, comm: Any):
+        """The topology attached to a communicator, if any."""
+        return self._resolve_comm(comm).topology

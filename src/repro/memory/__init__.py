@@ -1,0 +1,33 @@
+"""Simulated Linux-like process memory.
+
+MANA's split-process technique is fundamentally about *tagging memory*: the
+address space of one process holds two programs, and only the regions that
+belong to the application (the *upper half*) are saved at checkpoint time.
+This package reproduces the abstraction MANA manipulates:
+
+* :class:`MemoryRegion` — a contiguous mapping with a start address, a
+  *modeled* size (what the region would occupy in the real system, used by
+  all timing and accounting), permissions, a :class:`Half` tag, and an
+  optional actual payload (raw bytes or a named-array store),
+* :class:`AddressSpace` — mmap/munmap/sbrk with overlap checking and
+  half-aware queries,
+* :class:`UpperHeap` — the upper-half heap allocator with the
+  ``sbrk``-interposition semantics of §2.1 of the paper: upper-half ``sbrk``
+  growth is redirected to fresh ``mmap`` regions so the kernel-owned program
+  break (which, after restart, belongs to the *lower* half) is never moved.
+"""
+
+from repro.memory.region import Half, MemoryRegion, Perm, RegionKind
+from repro.memory.address_space import AddressSpace, AddressSpaceError
+from repro.memory.allocator import AllocationError, UpperHeap
+
+__all__ = [
+    "AddressSpace",
+    "AddressSpaceError",
+    "AllocationError",
+    "Half",
+    "MemoryRegion",
+    "Perm",
+    "RegionKind",
+    "UpperHeap",
+]

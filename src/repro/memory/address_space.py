@@ -1,0 +1,185 @@
+"""A simulated process address space with half-aware region bookkeeping.
+
+The layout mimics the situation MANA faces on Linux/x86-64:
+
+* the *kernel-owned program break* (``brk``) sits at the end of the original
+  program's data segment.  After restart, that original program is the
+  lower-half bootstrap, so moving the break grows **lower-half** memory —
+  which is exactly the ``sbrk`` hazard of §2.1 of the paper;
+* everything else is allocated by ``mmap`` from a downward-growing mmap
+  area, as on real Linux.
+
+Addresses are virtual and purely simulated, but overlap checking is real:
+any attempt to map two live regions over each other raises.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Iterable, Optional
+
+from repro.memory.region import Half, MemoryRegion, Perm, RegionKind
+
+
+class AddressSpaceError(RuntimeError):
+    """Mapping errors: overlap, unmapping an unknown region, bad sbrk."""
+
+
+PAGE = 4096
+
+
+def page_align(n: int) -> int:
+    """Round ``n`` up to the simulated page size."""
+    return (n + PAGE - 1) // PAGE * PAGE
+
+
+class AddressSpace:
+    """The set of live :class:`MemoryRegion` objects of one simulated process."""
+
+    #: Bottom of the brk/data area (arbitrary but realistic).
+    BRK_BASE = 0x0000_5555_0000_0000
+    #: Top of the downward-growing mmap area.
+    MMAP_TOP = 0x0000_7FFF_0000_0000
+
+    def __init__(self) -> None:
+        self._regions: list[MemoryRegion] = []   # kept sorted by start
+        self._starts: list[int] = []
+        self._brk = self.BRK_BASE
+        self._mmap_next = self.MMAP_TOP
+        #: Hook invoked on every sbrk; MANA's interposition layer installs one.
+        self.sbrk_interposer: Optional[Callable[[int], Optional[MemoryRegion]]] = None
+
+    # ------------------------------------------------------------- queries
+
+    def regions(self, half: Optional[Half] = None) -> list[MemoryRegion]:
+        """All live regions (optionally filtered by half), address order."""
+        if half is None:
+            return list(self._regions)
+        return [r for r in self._regions if r.half is half]
+
+    def find(self, name: str) -> MemoryRegion:
+        """Look up a region by exact name; raises if absent or ambiguous."""
+        hits = [r for r in self._regions if r.name == name]
+        if not hits:
+            raise AddressSpaceError(f"no region named {name!r}")
+        if len(hits) > 1:
+            raise AddressSpaceError(f"ambiguous region name {name!r} ({len(hits)} hits)")
+        return hits[0]
+
+    def region_at(self, addr: int) -> Optional[MemoryRegion]:
+        """The region containing ``addr``, or None (a simulated page fault)."""
+        i = bisect.bisect_right(self._starts, addr) - 1
+        if i >= 0 and self._regions[i].contains(addr):
+            return self._regions[i]
+        return None
+
+    def total_size(self, half: Optional[Half] = None,
+                   kind: Optional[RegionKind] = None) -> int:
+        """Sum of modeled sizes, optionally filtered by half and kind."""
+        return sum(
+            r.size
+            for r in self._regions
+            if (half is None or r.half is half) and (kind is None or r.kind is kind)
+        )
+
+    def maps(self) -> str:
+        """A /proc/self/maps-style dump, useful in error messages and docs."""
+        return "\n".join(r.describe() for r in self._regions)
+
+    # ------------------------------------------------------------- mapping
+
+    def mmap(
+        self,
+        size: int,
+        perm: Perm,
+        half: Half,
+        kind: RegionKind,
+        name: str = "",
+        payload: object = None,
+        ephemeral: bool = False,
+        addr: Optional[int] = None,
+    ) -> MemoryRegion:
+        """Map a new region; chooses an address unless ``addr`` is given."""
+        size = page_align(size)
+        if addr is None:
+            self._mmap_next -= size + PAGE  # guard page between mappings
+            addr = self._mmap_next
+        region = MemoryRegion(
+            start=addr, size=size, perm=perm, half=half, kind=kind,
+            name=name, payload=payload, ephemeral=ephemeral,
+        )
+        self._insert(region)
+        return region
+
+    def munmap(self, region: MemoryRegion) -> None:
+        """Unmap a region previously returned by :meth:`mmap`/:meth:`sbrk`."""
+        try:
+            i = self._index_of(region)
+        except ValueError:
+            raise AddressSpaceError(f"munmap of unknown region {region.name!r}") from None
+        del self._regions[i]
+        del self._starts[i]
+
+    def unmap_half(self, half: Half) -> list[MemoryRegion]:
+        """Unmap every region of ``half`` (used when discarding the lower half
+        at restart, or the upper half's stale image before restore)."""
+        doomed = [r for r in self._regions if r.half is half]
+        for r in doomed:
+            self.munmap(r)
+        return doomed
+
+    # ---------------------------------------------------------------- sbrk
+
+    @property
+    def brk(self) -> int:
+        """Current kernel program break."""
+        return self._brk
+
+    def sbrk(self, increment: int, caller_half: Half) -> MemoryRegion:
+        """Grow the data segment by ``increment`` bytes.
+
+        Without interposition, this extends the *kernel's* idea of the heap —
+        which after a restart belongs to the lower-half bootstrap program.
+        MANA interposes on upper-half callers and redirects the growth to an
+        anonymous ``mmap`` region tagged UPPER (§2.1).  The interposer hook is
+        consulted first; if it handles the call it returns the replacement
+        region and the kernel break is left untouched.
+        """
+        if increment <= 0:
+            raise AddressSpaceError(f"sbrk increment must be positive, got {increment}")
+        if caller_half is Half.UPPER and self.sbrk_interposer is not None:
+            replacement = self.sbrk_interposer(increment)
+            if replacement is not None:
+                return replacement
+        # Kernel path: extend the break.  The resulting region is tagged with
+        # the half that the kernel-adjacent program owns, i.e. whichever half
+        # the bootstrap program belongs to — recorded by who calls us.
+        start = self._brk
+        size = page_align(increment)
+        self._brk += size
+        region = MemoryRegion(
+            start=start, size=size, perm=Perm.RW, half=caller_half,
+            kind=RegionKind.HEAP, name=f"brk+{size:#x}",
+        )
+        self._insert(region)
+        return region
+
+    # ------------------------------------------------------------ internals
+
+    def _index_of(self, region: MemoryRegion) -> int:
+        i = bisect.bisect_left(self._starts, region.start)
+        while i < len(self._regions) and self._starts[i] == region.start:
+            if self._regions[i] is region:
+                return i
+            i += 1
+        raise ValueError(region)
+
+    def _insert(self, region: MemoryRegion) -> None:
+        i = bisect.bisect_left(self._starts, region.start)
+        for j in (i - 1, i):
+            if 0 <= j < len(self._regions) and self._regions[j].overlaps(region):
+                raise AddressSpaceError(
+                    f"mapping {region.describe()} overlaps {self._regions[j].describe()}"
+                )
+        self._regions.insert(i, region)
+        self._starts.insert(i, region.start)

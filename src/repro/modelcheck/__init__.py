@@ -1,0 +1,21 @@
+"""Explicit-state model checking of the two-phase protocol (§2.6).
+
+The paper validated Algorithm 2 with a TLA+/PlusCal model run through TLC.
+This package is the equivalent apparatus: a small breadth-first
+explicit-state checker (:mod:`checker`) and two protocol models
+(:mod:`models`):
+
+* :class:`TwoPhaseModel` — Algorithm 2 with the trivial-barrier commit rule
+  (see :mod:`repro.mana.protocol`); the checker verifies, exhaustively for
+  small rank counts, that (a) no rank ever processes ``do-ckpt`` inside the
+  real collective, (b) the protocol never deadlocks, and (c) from every
+  reachable state the system can reach completion;
+* :class:`NaiveModel` — the strawman without the two-phase wrapper, for
+  which the checker *finds* the invariant violation (why MANA needs
+  Algorithm 2 at all).
+"""
+
+from repro.modelcheck.checker import CheckResult, ModelChecker
+from repro.modelcheck.models import NaiveModel, TwoPhaseModel
+
+__all__ = ["CheckResult", "ModelChecker", "NaiveModel", "TwoPhaseModel"]

@@ -1,0 +1,206 @@
+"""A small TLC-style breadth-first explicit-state model checker.
+
+Models expose initial states, a successor relation, a named-invariant map,
+and a terminal predicate.  The checker explores the full reachable state
+space and reports:
+
+* **invariant violations**, with a shortest counterexample trace;
+* **deadlocks** (non-terminal states with no successors), with a trace;
+* **liveness**: whether every reachable state can still reach a terminal
+  state (checked by reverse reachability over the explored graph — a
+  finite-graph stand-in for "eventually completes" under fairness).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Optional
+
+
+class Model:
+    """Interface a protocol model implements."""
+
+    def initial_states(self) -> Iterable[Hashable]:
+        """The model's initial state set."""
+        raise NotImplementedError
+
+    def successors(self, state: Hashable) -> Iterable[tuple[str, Hashable]]:
+        """(action label, next state) pairs."""
+        raise NotImplementedError
+
+    def invariants(self) -> dict[str, Callable[[Hashable], bool]]:
+        """Named predicates that must hold in every reachable state."""
+        return {}
+
+    def is_terminal(self, state: Hashable) -> bool:
+        """True for states where the protocol has fully completed."""
+        raise NotImplementedError
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one exhaustive exploration."""
+
+    states_explored: int
+    transitions: int
+    diameter: int
+    ok: bool
+    #: name of the violated invariant (or "deadlock"/"liveness"), if any
+    failure: Optional[str] = None
+    #: shortest action trace to the failing state
+    trace: list[str] = field(default_factory=list)
+    #: the failing state itself (for debugging)
+    failing_state: Any = None
+
+    def __str__(self) -> str:
+        status = "OK" if self.ok else f"FAILED ({self.failure})"
+        return (
+            f"{status}: {self.states_explored} states, "
+            f"{self.transitions} transitions, diameter {self.diameter}"
+        )
+
+
+class ModelChecker:
+    """Exhaustive BFS over a model's state space."""
+
+    def __init__(self, model: Model, max_states: int = 2_000_000) -> None:
+        self.model = model
+        self.max_states = max_states
+
+    def run(self, check_liveness: bool = True) -> CheckResult:
+        """Exhaustive BFS over the reachable state space; see CheckResult."""
+        invariants = self.model.invariants()
+        parents: dict[Hashable, Optional[tuple[Hashable, str]]] = {}
+        frontier: deque[tuple[Hashable, int]] = deque()
+        successors_of: dict[Hashable, list[Hashable]] = {}
+        transitions = 0
+        diameter = 0
+
+        for s0 in self.model.initial_states():
+            parents[s0] = None
+            frontier.append((s0, 0))
+
+        for state in list(parents):
+            for name, pred in invariants.items():
+                if not pred(state):
+                    return self._fail(parents, state, name, 0, 0, 0)
+
+        while frontier:
+            state, depth = frontier.popleft()
+            diameter = max(diameter, depth)
+            succ: list[Hashable] = []
+            for action, nxt in self.model.successors(state):
+                transitions += 1
+                succ.append(nxt)
+                if nxt not in parents:
+                    parents[nxt] = (state, action)
+                    if len(parents) > self.max_states:
+                        raise RuntimeError(
+                            f"state space exceeds {self.max_states} states"
+                        )
+                    for name, pred in invariants.items():
+                        if not pred(nxt):
+                            return self._fail(
+                                parents, nxt, name, len(parents),
+                                transitions, depth + 1,
+                            )
+                    frontier.append((nxt, depth + 1))
+            successors_of[state] = succ
+            if not succ and not self.model.is_terminal(state):
+                return self._fail(
+                    parents, state, "deadlock", len(parents), transitions, depth
+                )
+
+        if check_liveness:
+            alive = self._reverse_reachable(successors_of)
+            for state in parents:
+                if state not in alive:
+                    return self._fail(
+                        parents, state, "liveness", len(parents), transitions,
+                        diameter,
+                    )
+
+        return CheckResult(
+            states_explored=len(parents), transitions=transitions,
+            diameter=diameter, ok=True,
+        )
+
+    def simulate(self, n_walks: int = 200, max_depth: int = 10_000,
+                 seed: int = 0) -> CheckResult:
+        """TLC's *simulation mode*: random walks through the state space.
+
+        For rank counts beyond exhaustive reach, checks the invariants and
+        deadlock-freedom along ``n_walks`` random executions.  Weaker than
+        :meth:`run` (no liveness, no exhaustiveness) but scales to models
+        whose full graphs do not fit in memory.
+        """
+        import random
+
+        rng = random.Random(seed)
+        invariants = self.model.invariants()
+        states_seen = 0
+        transitions = 0
+        deepest = 0
+        for walk in range(n_walks):
+            state = rng.choice(list(self.model.initial_states()))
+            trace: list[str] = []
+            for _depth in range(max_depth):
+                for name, pred in invariants.items():
+                    if not pred(state):
+                        return CheckResult(
+                            states_explored=states_seen + 1,
+                            transitions=transitions, diameter=len(trace),
+                            ok=False, failure=name, trace=trace,
+                            failing_state=state,
+                        )
+                options = list(self.model.successors(state))
+                transitions += len(options)
+                states_seen += 1
+                if not options:
+                    if self.model.is_terminal(state):
+                        break
+                    return CheckResult(
+                        states_explored=states_seen, transitions=transitions,
+                        diameter=len(trace), ok=False, failure="deadlock",
+                        trace=trace, failing_state=state,
+                    )
+                action, state = rng.choice(options)
+                trace.append(action)
+            deepest = max(deepest, len(trace))
+        return CheckResult(states_explored=states_seen,
+                           transitions=transitions, diameter=deepest, ok=True)
+
+    # ------------------------------------------------------------ internals
+
+    def _reverse_reachable(self, successors_of: dict) -> set:
+        """States from which some terminal state is reachable."""
+        reverse: dict[Hashable, list[Hashable]] = {}
+        terminals = []
+        for state, succ in successors_of.items():
+            if self.model.is_terminal(state):
+                terminals.append(state)
+            for nxt in succ:
+                reverse.setdefault(nxt, []).append(state)
+        alive = set(terminals)
+        queue = deque(terminals)
+        while queue:
+            state = queue.popleft()
+            for prev in reverse.get(state, ()):
+                if prev not in alive:
+                    alive.add(prev)
+                    queue.append(prev)
+        return alive
+
+    def _fail(self, parents, state, name, n_states, transitions, depth) -> CheckResult:
+        trace: list[str] = []
+        cursor = state
+        while parents.get(cursor) is not None:
+            cursor, action = parents[cursor]
+            trace.append(action)
+        trace.reverse()
+        return CheckResult(
+            states_explored=max(n_states, 1), transitions=transitions,
+            diameter=depth, ok=False, failure=name, trace=trace,
+            failing_state=state,
+        )

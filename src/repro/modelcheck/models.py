@@ -1,0 +1,303 @@
+"""Protocol models for the checker.
+
+State layout (both models):
+
+``(ranks, coord, mailboxes, outboxes)`` where
+
+* ``ranks[i] = (pc, it, mode, owe, ex2, frozen)`` — program counter, loop
+  iteration, protocol mode ('n'ormal / 'p're-ckpt / '1' replied-in-phase-1),
+  deferred-reply owed, exited-phase-2 flag, frozen flag;
+
+Mode '1' is the *revision rule* (see repro.mana.protocol): a rank whose last
+reply was ``in-phase-1`` and that subsequently commits into phase 2 sends an
+unsolicited revision ``('v',)``; the coordinator clears its reply slot and
+waits for the deferred ``exit-phase-2``.  Without this rule the checker
+finds a genuine violation: the rank's reply goes stale between the round's
+completion and do-ckpt delivery.
+* ``coord = (phase, replies, acks, started)`` — coordinator phase ('idle',
+  'round', 'ckpt', 'done'), per-rank reply slots, freeze acks, whether the
+  one modeled checkpoint has begun;
+* ``mailboxes[i]`` — FIFO of control messages to rank ``i`` ('I'ntend,
+  'E'xtra-iteration, 'D'o-ckpt, 'R'esume);
+* ``outboxes[i]`` — at most one in-flight message to the coordinator:
+  ``('s', report)`` state replies or ``('f',)`` freeze acks.
+
+Program counters: 'C' computing, 'G' held at wrapper entry, 'P1' in the
+trivial barrier, 'P2' in the real collective, 'X' finished.  The naive model
+replaces the wrapper with a bare collective ('CC').
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Hashable
+
+from repro.modelcheck.checker import Model
+
+READY = ("r",)
+EXIT2 = ("x",)
+
+
+def _rank(pc, it, mode="n", owe=0, ex2=0, frozen=0):
+    return (pc, it, mode, owe, ex2, frozen)
+
+
+class TwoPhaseModel(Model):
+    """Algorithm 2 with the trivial-barrier commit rule, one communicator."""
+
+    def __init__(self, n_ranks: int = 2, n_iters: int = 2) -> None:
+        self.n = n_ranks
+        self.k = n_iters
+
+    # ------------------------------------------------------------ lifecycle
+
+    def initial_states(self) -> Iterable[Hashable]:
+        """The model's initial state set."""
+        ranks = tuple(_rank("C", 0) for _ in range(self.n))
+        coord = ("idle", (None,) * self.n, 0, 0)
+        empty = ((),) * self.n
+        return [(ranks, coord, empty, (None,) * self.n)]
+
+    def is_terminal(self, state) -> bool:
+        """True for states where the protocol has fully completed."""
+        ranks, coord, mail, out = state
+        return (
+            all(r[0] == "X" for r in ranks)
+            and coord[0] == "done"
+            and all(not m for m in mail)
+            and all(o is None for o in out)
+        )
+
+    def invariants(self):
+        """Named predicates that must hold in every reachable state."""
+        return {
+            # Theorem 1: processing do-ckpt never finds a rank in phase 2.
+            # We flag it in the transition by freezing INTO a poisoned pc.
+            "no-rank-in-phase2-at-ckpt": lambda s: not any(
+                r[0] == "VIOLATION" for r in s[0]
+            ),
+        }
+
+    # ---------------------------------------------------------- successors
+
+    def successors(self, state):
+        """Enabled (action, next-state) transitions from ``state``."""
+        ranks, coord, mail, out = state
+        n, k = self.n, self.k
+        phase, replies, acks, started = coord
+
+        def with_rank(i, newr, newmail=None, newout=None, newcoord=None):
+            rs = ranks[:i] + (newr,) + ranks[i + 1:]
+            return (
+                rs,
+                newcoord if newcoord is not None else coord,
+                newmail if newmail is not None else mail,
+                newout if newout is not None else out,
+            )
+
+        def entered_barrier(i, rs):
+            it_i = rs[i][1]
+            return all(
+                r[1] > it_i or (r[1] == it_i and r[0] in ("P1", "PV", "P2"))
+                for r in rs
+            )
+
+        def all_in_p2(i, rs):
+            it_i = rs[i][1]
+            return all(
+                r[1] > it_i or (r[1] == it_i and r[0] == "P2")
+                for r in rs
+            )
+
+        for i, (pc, it, mode, owe, ex2, frozen) in enumerate(ranks):
+            if frozen:
+                pass  # frozen ranks only react to mailbox messages (below)
+            else:
+                # 1. arrive at the wrapper
+                if pc == "C":
+                    if mode == "n":
+                        yield (f"r{i}:enter-p1",
+                               with_rank(i, _rank("P1", it, mode, owe, ex2)))
+                    else:
+                        yield (f"r{i}:held-at-entry",
+                               with_rank(i, _rank("G", it, mode, owe, ex2)))
+                # 2. gate release happens via 'R' processing (mode back to n)
+                if pc == "G" and mode == "n":
+                    yield (f"r{i}:gate-release",
+                           with_rank(i, _rank("P1", it, mode, owe, ex2)))
+                # 3. barrier commit (the revision rule: a rank that reported
+                # in-phase-1 must revise SYNCHRONOUSLY — it parks in 'PV'
+                # until the coordinator acknowledges, so no round can ever
+                # complete against a stale in-phase-1 reply)
+                if pc == "P1" and entered_barrier(i, ranks):
+                    if mode == "1":
+                        if out[i] is None:
+                            nout = out[:i] + (("v",),) + out[i + 1:]
+                            yield (f"r{i}:revise-park",
+                                   with_rank(i, _rank("PV", it, "p", 1, ex2),
+                                             newout=nout))
+                    else:
+                        yield (f"r{i}:commit-p2",
+                               with_rank(i, _rank("P2", it, mode, owe, ex2)))
+                # 4. collective exit
+                if pc == "P2" and all_in_p2(i, ranks):
+                    nit = it + 1
+                    npc = "X" if nit == k else "C"
+                    if owe:
+                        if out[i] is None:
+                            nout = out[:i] + (("s", EXIT2),) + out[i + 1:]
+                            yield (f"r{i}:exit-p2-deferred-reply",
+                                   with_rank(i, _rank(npc, nit, mode, 0, 0),
+                                             newout=nout))
+                    else:
+                        nex2 = 1 if mode == "p" else 0
+                        yield (f"r{i}:exit-p2",
+                               with_rank(i, _rank(npc, nit, mode, 0, nex2)))
+
+            # 5. process mailbox head
+            if mail[i]:
+                msg, rest = mail[i][0], mail[i][1:]
+                nmail = mail[:i] + (rest,) + mail[i + 1:]
+                if msg in ("I", "E"):
+                    if pc in ("P2", "PV"):
+                        yield (f"r{i}:recv-{msg}-defer",
+                               with_rank(i, _rank(pc, it, "p", 1, ex2, frozen),
+                                         newmail=nmail))
+                    elif out[i] is None:
+                        nmode = "p"
+                        if ex2:
+                            report, nex2 = EXIT2, 0
+                        elif pc == "P1":
+                            report, nex2 = ("1",), ex2
+                            nmode = "1"  # remember: reply may need revising
+                        else:
+                            report, nex2 = READY, ex2
+                        nout = out[:i] + (("s", report),) + out[i + 1:]
+                        yield (f"r{i}:recv-{msg}-reply",
+                               with_rank(i, _rank(pc, it, nmode, owe, nex2, frozen),
+                                         newmail=nmail, newout=nout))
+                elif msg == "D":
+                    npc = "VIOLATION" if pc == "P2" else pc
+                    if out[i] is None:
+                        nout = out[:i] + (("f",),) + out[i + 1:]
+                        yield (f"r{i}:recv-D-freeze",
+                               with_rank(i, _rank(npc, it, mode, owe, ex2, 1),
+                                         newmail=nmail, newout=nout))
+                elif msg == "R":
+                    yield (f"r{i}:recv-R-resume",
+                           with_rank(i, _rank(pc, it, "n", owe, 0, 0),
+                                     newmail=nmail))
+                elif msg == "A":
+                    # revision acknowledged: commit into phase 2
+                    if pc != "PV":
+                        raise AssertionError("A outside PV")
+                    yield (f"r{i}:ack-commit-p2",
+                           with_rank(i, _rank("P2", it, mode, owe, ex2, frozen),
+                                     newmail=nmail))
+
+            # 6. deliver outbox to coordinator
+            if out[i] is not None:
+                kind = out[i][0]
+                nout = out[:i] + (None,) + out[i + 1:]
+                if kind == "s" and phase == "round" and replies[i] is None:
+                    nrep = replies[:i] + (out[i][1],) + replies[i + 1:]
+                    yield (f"c:recv-reply-r{i}",
+                           (ranks, (phase, nrep, acks, started), mail, nout))
+                elif kind == "v" and phase == "round":
+                    # revision: clear the stale reply slot and acknowledge
+                    nrep = replies[:i] + (None,) + replies[i + 1:]
+                    nmail2 = mail[:i] + (mail[i] + ("A",),) + mail[i + 1:]
+                    yield (f"c:recv-revise-r{i}",
+                           (ranks, (phase, nrep, acks, started), nmail2, nout))
+                elif kind == "f" and phase == "ckpt":
+                    yield (f"c:recv-ack-r{i}",
+                           (ranks, (phase, replies, acks + 1, started), mail, nout))
+
+        # 7. coordinator starts the (single) checkpoint
+        if phase == "idle" and not started:
+            nmail = tuple(m + ("I",) for m in mail)
+            yield ("c:intend", (ranks, ("round", (None,) * n, 0, 1), nmail, out))
+
+        # 8. round complete
+        if phase == "round" and all(r is not None for r in replies):
+            if self._needs_extra(replies):
+                nmail = tuple(m + ("E",) for m in mail)
+                yield ("c:extra-iteration",
+                       (ranks, ("round", (None,) * n, 0, 1), nmail, out))
+            else:
+                nmail = tuple(m + ("D",) for m in mail)
+                yield ("c:do-ckpt",
+                       (ranks, ("ckpt", (None,) * n, 0, 1), nmail, out))
+
+        # 9. all frozen: write happens here (abstracted), then resume
+        if phase == "ckpt" and acks == n:
+            nmail = tuple(m + ("R",) for m in mail)
+            yield ("c:resume", (ranks, ("done", replies, 0, 1), nmail, out))
+
+    def _needs_extra(self, replies) -> bool:
+        # Algorithm 2 line 7, plus the fully-entered-barrier clause
+        # (Challenge I): if every member reports in-phase-1, the barrier is
+        # complete (or completing) and revisions may still be in flight —
+        # do-ckpt now could land inside phase 2, so iterate instead.
+        if any(r == EXIT2 for r in replies):
+            return True
+        return all(r == ("1",) for r in replies)
+
+
+class NaiveModel(TwoPhaseModel):
+    """The strawman: no trivial barrier, no intent rounds — the coordinator
+    sends do-ckpt directly.  The checker finds the phase-2 violation."""
+
+    def successors(self, state):
+        """Enabled (action, next-state) transitions from ``state``."""
+        ranks, coord, mail, out = state
+        n, k = self.n, self.k
+        phase, replies, acks, started = coord
+
+        def with_rank(i, newr, newmail=None, newout=None):
+            rs = ranks[:i] + (newr,) + ranks[i + 1:]
+            return (
+                rs, coord,
+                newmail if newmail is not None else mail,
+                newout if newout is not None else out,
+            )
+
+        def all_entered(i, rs):
+            it_i = rs[i][1]
+            return all(
+                r[1] > it_i or (r[1] == it_i and r[0] == "CC")
+                for r in rs
+            )
+
+        for i, (pc, it, mode, owe, ex2, frozen) in enumerate(ranks):
+            if not frozen:
+                if pc == "C":
+                    yield (f"r{i}:enter-coll",
+                           with_rank(i, _rank("CC", it)))
+                if pc == "CC" and all_entered(i, ranks):
+                    nit = it + 1
+                    npc = "X" if nit == k else "C"
+                    yield (f"r{i}:exit-coll", with_rank(i, _rank(npc, nit)))
+            if mail[i]:
+                msg, rest = mail[i][0], mail[i][1:]
+                nmail = mail[:i] + (rest,) + mail[i + 1:]
+                if msg == "D" and out[i] is None:
+                    npc = "VIOLATION" if pc == "CC" else pc
+                    nout = out[:i] + (("f",),) + out[i + 1:]
+                    yield (f"r{i}:recv-D-freeze",
+                           with_rank(i, _rank(npc, it, mode, owe, ex2, 1),
+                                     newmail=nmail, newout=nout))
+                elif msg == "R":
+                    yield (f"r{i}:recv-R-resume",
+                           with_rank(i, _rank(pc, it, "n", owe, 0, 0),
+                                     newmail=nmail))
+            if out[i] is not None and out[i][0] == "f" and phase == "ckpt":
+                nout = out[:i] + (None,) + out[i + 1:]
+                yield (f"c:recv-ack-r{i}",
+                       (ranks, (phase, replies, acks + 1, started), mail, nout))
+
+        if phase == "idle" and not started:
+            nmail = tuple(m + ("D",) for m in mail)
+            yield ("c:do-ckpt", (ranks, ("ckpt", replies, 0, 1), nmail, out))
+        if phase == "ckpt" and acks == n:
+            nmail = tuple(m + ("R",) for m in mail)
+            yield ("c:resume", (ranks, ("done", replies, 0, 1), nmail, out))

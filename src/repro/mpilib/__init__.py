@@ -1,0 +1,40 @@
+"""Simulated MPI: the standard subset MANA interposes on.
+
+This package is the *lower half* substrate: several distinct MPI
+implementations (:mod:`repro.mpilib.impls`) over the fabrics of
+:mod:`repro.net`, speaking a common API (:class:`MpiEndpoint`).  Everything
+here is deliberately implementation-flavoured — handle value spaces, eager
+thresholds, collective algorithm choices and software overheads all differ
+between implementations — because MANA's whole point is to hide exactly those
+differences across a checkpoint/restart boundary.
+
+The public entry point is :func:`repro.mpilib.launcher.launch`, the
+``mpiexec`` equivalent.
+"""
+
+from repro.mpilib.datatypes import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    LONG,
+    Datatype,
+    contiguous,
+    struct,
+    vector,
+)
+from repro.mpilib.ops import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM, ReduceOp
+from repro.mpilib.comm import ANY_SOURCE, ANY_TAG, Communicator, Group, MpiError
+from repro.mpilib.impls import IMPLEMENTATIONS, MpiImplementation, get_implementation
+from repro.mpilib.world import MpiEndpoint, MpiWorld, Request
+from repro.mpilib.launcher import launch
+
+__all__ = [
+    "ANY_SOURCE", "ANY_TAG", "BAND", "BOR", "BYTE", "CHAR", "DOUBLE", "FLOAT",
+    "IMPLEMENTATIONS", "INT", "LAND", "LONG", "LOR", "MAX", "MAXLOC", "MIN",
+    "MINLOC", "PROD", "SUM", "Communicator", "Datatype", "Group",
+    "MpiEndpoint", "MpiError", "MpiImplementation", "MpiWorld", "ReduceOp",
+    "Request", "contiguous", "get_implementation", "launch", "struct",
+    "vector",
+]

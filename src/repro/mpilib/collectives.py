@@ -1,0 +1,139 @@
+"""Analytic timing models for collective algorithms.
+
+Each model gives the duration of the *work* phase of a collective: the time
+from the moment the last participant has entered until everyone leaves.  The
+functional forms are the standard LogP-style costs of the algorithms MPICH
+and Open MPI actually implement (binomial trees, recursive doubling, ring);
+implementations pick between them via their :class:`CollectiveTuning`.
+
+MANA never needs to see inside these calls — the whole point of the paper's
+two-phase algorithm is that it doesn't have to — but the durations must be
+realistic so that (a) OSU-style latency curves (Fig. 5) have the right shape
+and (b) the two-phase protocol is exercised with ranks genuinely spending
+time inside collectives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpilib.impls import MpiImplementation
+    from repro.net.base import Interconnect
+
+
+def _log2ceil(p: int) -> int:
+    return max(1, math.ceil(math.log2(max(p, 2))))
+
+
+def barrier_time(p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    """Dissemination barrier: ceil(log2 p) zero-byte rounds."""
+    rounds = _log2ceil(p)
+    t = rounds * (net.alpha + net.per_message_cpu + impl.call_overhead)
+    return t * impl.collective_tuning.tuning_factor
+
+
+def bcast_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    """Broadcast work-phase duration."""
+    tune = impl.collective_tuning
+    if size <= tune.bcast_pipeline_threshold:
+        # binomial tree: log p sequential hops of the full payload
+        t = _log2ceil(p) * (net.alpha + size / net.beta)
+    else:
+        # scatter + allgather (van de Geijn): ~2x size/beta, latency log p
+        t = 2 * (p - 1) / p * size / net.beta + 2 * _log2ceil(p) * net.alpha
+    return (t + impl.copy_cost_per_byte * size) * tune.tuning_factor
+
+
+def reduce_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    # binomial reduction tree with a per-byte combine cost
+    """Reduce work-phase duration (binomial tree)."""
+    gamma = 0.25e-9  # sec/byte arithmetic
+    t = _log2ceil(p) * (net.alpha + size / net.beta + gamma * size)
+    return t * impl.collective_tuning.tuning_factor
+
+
+def allreduce_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    """Allreduce duration (recursive doubling or ring)."""
+    tune = impl.collective_tuning
+    gamma = 0.25e-9
+    if size <= tune.allreduce_ring_threshold:
+        # recursive doubling
+        t = _log2ceil(p) * (net.alpha + size / net.beta + gamma * size)
+    else:
+        # ring reduce-scatter + allgather
+        t = 2 * (p - 1) * net.alpha + 2 * (p - 1) / p * size / net.beta \
+            + (p - 1) / p * gamma * size
+    return t * tune.tuning_factor
+
+
+def gather_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    """``size`` is the per-rank contribution; root receives (p-1) of them."""
+    tune = impl.collective_tuning
+    if tune.tree_gather:
+        # binomial: log p rounds, doubling payload each round
+        t = _log2ceil(p) * net.alpha + (p - 1) * size / net.beta
+    else:
+        t = (p - 1) * (net.alpha + size / net.beta)
+    return t * tune.tuning_factor
+
+
+def scatter_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    """Scatter duration (mirror of gather)."""
+    return gather_time(size, p, net, impl)
+
+
+def allgather_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    # ring allgather: p-1 steps of one block each
+    """Allgather duration (ring)."""
+    t = (p - 1) * (net.alpha + size / net.beta)
+    return t * impl.collective_tuning.tuning_factor
+
+
+def alltoall_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    # pairwise exchange: p-1 rounds of per-pair payloads
+    """Alltoall duration (pairwise exchange)."""
+    t = (p - 1) * (net.alpha + size / net.beta)
+    return t * impl.collective_tuning.tuning_factor
+
+
+def reduce_scatter_time(size: int, p: int, net: "Interconnect",
+                        impl: "MpiImplementation") -> float:
+    """Reduce-scatter duration."""
+    gamma = 0.25e-9
+    t = (p - 1) * net.alpha + (p - 1) / p * size / net.beta \
+        + (p - 1) / p * gamma * size
+    return t * impl.collective_tuning.tuning_factor
+
+
+def scan_time(size: int, p: int, net: "Interconnect", impl: "MpiImplementation") -> float:
+    """Scan duration."""
+    gamma = 0.25e-9
+    t = _log2ceil(p) * (net.alpha + size / net.beta + gamma * size)
+    return t * impl.collective_tuning.tuning_factor
+
+
+#: op name -> duration model(size, p, net, impl)
+TIME_MODELS = {
+    "barrier": lambda size, p, net, impl: barrier_time(p, net, impl),
+    "bcast": bcast_time,
+    "reduce": reduce_time,
+    "allreduce": allreduce_time,
+    "gather": gather_time,
+    "scatter": scatter_time,
+    "allgather": allgather_time,
+    "alltoall": alltoall_time,
+    "reduce_scatter": reduce_scatter_time,
+    "scan": scan_time,
+}
+
+
+def collective_duration(op: str, size: int, p: int, net: "Interconnect",
+                        impl: "MpiImplementation") -> float:
+    """Duration of the work phase of collective ``op``."""
+    try:
+        model = TIME_MODELS[op]
+    except KeyError:
+        raise ValueError(f"no timing model for collective {op!r}") from None
+    return model(size, p, net, impl)

@@ -1,0 +1,118 @@
+"""MPI datatypes, basic and derived.
+
+Datatypes matter to MANA for two reasons: they determine message sizes (and
+therefore all timing), and *derived* datatypes are opaque handles created at
+runtime that must be recorded and replayed across restart (§2.2: "A similar
+checkpointing strategy also works for other opaque identifiers, such as, MPI
+derived datatypes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI datatype: a name, a byte extent, and how it was constructed.
+
+    ``recipe`` is ``None`` for basic types; for derived types it is the
+    constructor tuple MANA's record-replay log uses to rebuild the type in a
+    fresh MPI library.
+    """
+
+    name: str
+    extent: int
+    np_dtype: Optional[str] = None
+    recipe: Optional[tuple] = None
+
+    @property
+    def is_derived(self) -> bool:
+        """True for constructed (non-basic) datatypes."""
+        return self.recipe is not None
+
+    def numpy(self) -> np.dtype:
+        """The numpy dtype backing buffers of this type (basic types only)."""
+        if self.np_dtype is None:
+            raise TypeError(f"datatype {self.name} has no direct numpy mapping")
+        return np.dtype(self.np_dtype)
+
+    def nbytes(self, count: int) -> int:
+        """Wire size of ``count`` elements."""
+        return self.extent * count
+
+
+# ----------------------------------------------------------------- basic
+
+BYTE = Datatype("MPI_BYTE", 1, "u1")
+CHAR = Datatype("MPI_CHAR", 1, "S1")
+INT = Datatype("MPI_INT", 4, "i4")
+LONG = Datatype("MPI_LONG", 8, "i8")
+FLOAT = Datatype("MPI_FLOAT", 4, "f4")
+DOUBLE = Datatype("MPI_DOUBLE", 8, "f8")
+
+BASIC_TYPES = {t.name: t for t in (BYTE, CHAR, INT, LONG, FLOAT, DOUBLE)}
+
+
+# ---------------------------------------------------------------- derived
+
+def contiguous(count: int, base: Datatype) -> Datatype:
+    """MPI_Type_contiguous."""
+    if count <= 0:
+        raise ValueError(f"contiguous count must be positive, got {count}")
+    return Datatype(
+        name=f"contig({count},{base.name})",
+        extent=count * base.extent,
+        recipe=("contiguous", count, base),
+    )
+
+
+def vector(count: int, blocklength: int, stride: int, base: Datatype) -> Datatype:
+    """MPI_Type_vector: ``count`` blocks of ``blocklength`` elements spaced
+    ``stride`` elements apart.  The *extent* spans the full stride pattern but
+    the wire size is only the blocks."""
+    if count <= 0 or blocklength <= 0:
+        raise ValueError("vector count and blocklength must be positive")
+    if stride < blocklength:
+        raise ValueError("vector stride must be >= blocklength")
+    extent = ((count - 1) * stride + blocklength) * base.extent
+    return Datatype(
+        name=f"vector({count},{blocklength},{stride},{base.name})",
+        extent=extent,
+        recipe=("vector", count, blocklength, stride, base),
+    )
+
+
+def struct(fields: list[tuple[int, Datatype]]) -> Datatype:
+    """MPI_Type_create_struct from (count, type) pairs, densely packed."""
+    if not fields:
+        raise ValueError("struct needs at least one field")
+    extent = sum(c * t.extent for c, t in fields)
+    name = "struct(" + ",".join(f"{c}x{t.name}" for c, t in fields) + ")"
+    return Datatype(name=name, extent=extent, recipe=("struct", tuple(fields)))
+
+
+def wire_size(dtype: Datatype, count: int) -> int:
+    """Bytes actually transmitted for ``count`` elements of ``dtype``.
+
+    For vector types, holes are not sent; everything else is dense.
+    """
+    if dtype.recipe and dtype.recipe[0] == "vector":
+        _, vcount, blocklength, _stride, base = dtype.recipe
+        return count * vcount * blocklength * base.extent
+    return dtype.nbytes(count)
+
+
+def rebuild(recipe: tuple) -> Datatype:
+    """Re-execute a derived-type constructor (used by record-replay)."""
+    kind = recipe[0]
+    if kind == "contiguous":
+        return contiguous(recipe[1], recipe[2])
+    if kind == "vector":
+        return vector(recipe[1], recipe[2], recipe[3], recipe[4])
+    if kind == "struct":
+        return struct(list(recipe[1]))
+    raise ValueError(f"unknown datatype recipe {kind!r}")

@@ -1,0 +1,130 @@
+"""MPI-IO: collective file I/O over the simulated parallel filesystem.
+
+Checkpointing an application that holds *open files* is a classic
+transparent-checkpointing concern: DMTCP (MANA's substrate, §2.7) records
+open file descriptors and re-opens them at restart, relying on the files
+themselves living on shared storage.  This module supplies the pieces:
+
+* :class:`SimFilesystem` — a shared parallel filesystem namespace holding
+  :class:`SimFile` objects with real (sparse) contents;
+* :class:`MpiFile` — one rank's handle, with explicit-offset operations in
+  the MPI-IO style: ``write_at`` / ``read_at`` (independent) and
+  ``write_at_all`` / ``read_at_all`` (collective, synchronizing, timed
+  through the cluster's Lustre model).
+
+File *handles* are opaque MPI objects: under MANA they are virtualized,
+``MPI_File_open`` is recorded and replayed, and a restart re-opens the path
+on the target cluster's filesystem — which must therefore be the same
+shared filesystem object (cross-cluster migration assumes site-shared or
+migrated storage, exactly as the paper's checkpoint images do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hardware.filesystem import SimFile, SimFilesystem
+from repro.mpilib.comm import Communicator, MpiError
+from repro.simtime import Completion, Engine
+
+
+class IoError(MpiError):
+    """File-layer failures (missing file, closed handle, mode violations)."""
+
+
+@dataclass
+class MpiFile:
+    """One rank's open-file handle (the real, lower-half object)."""
+
+    handle: int
+    file: SimFile
+    comm: Communicator
+    endpoint: "repro.mpilib.world.MpiEndpoint"
+    mode: str = "rw"
+    closed: bool = False
+
+    # ------------------------------------------------------------ plumbing
+
+    def _check(self, writing: bool) -> None:
+        if self.closed:
+            raise IoError(f"operation on closed file {self.file.path!r}")
+        if writing and "w" not in self.mode:
+            raise IoError(f"file {self.file.path!r} opened read-only")
+
+    def _io_time(self, nbytes: int, concurrent: int = 1) -> float:
+        storage = self.endpoint.world.cluster.storage
+        share = storage.per_node_bandwidth / max(concurrent, 1)
+        return storage.per_file_overhead * 0.1 + nbytes / share
+
+    # ---------------------------------------------------------- independent
+
+    def write_at(self, offset: int, data: bytes,
+                 size: Optional[int] = None) -> Completion:
+        """Independent write at an explicit offset."""
+        self._check(writing=True)
+        nbytes = size if size is not None else len(data)
+        done = Completion(self.endpoint.engine, label=f"write@{offset}")
+
+        def apply() -> None:
+            self.file.write(offset, data)
+            done.resolve(len(data))
+
+        self.endpoint.engine.call_after(self._io_time(nbytes), apply)
+        return done
+
+    def read_at(self, offset: int, length: int,
+                size: Optional[int] = None) -> Completion:
+        """Independent read; resolves with the bytes."""
+        self._check(writing=False)
+        nbytes = size if size is not None else length
+        done = Completion(self.endpoint.engine, label=f"read@{offset}")
+        self.endpoint.engine.call_after(
+            self._io_time(nbytes),
+            lambda: done.resolve(self.file.read(offset, length)),
+        )
+        return done
+
+    # ----------------------------------------------------------- collective
+
+    def write_at_all(self, offset: int, data: bytes,
+                     size: Optional[int] = None) -> Completion:
+        """Collective write: all ranks of the communicator synchronize, then
+        write concurrently (sharing the node's injection bandwidth)."""
+        self._check(writing=True)
+        nbytes = size if size is not None else len(data)
+        sync = self.endpoint.barrier(self.comm)
+        done = Completion(self.endpoint.engine, label=f"write_all@{offset}")
+
+        def after_sync(_v) -> None:
+            def apply() -> None:
+                self.file.write(offset, data)
+                done.resolve(len(data))
+
+            self.endpoint.engine.call_after(
+                self._io_time(nbytes, concurrent=self.comm.size), apply
+            )
+
+        sync.on_done(after_sync)
+        return done
+
+    def read_at_all(self, offset: int, length: int,
+                    size: Optional[int] = None) -> Completion:
+        """Collective read."""
+        self._check(writing=False)
+        nbytes = size if size is not None else length
+        sync = self.endpoint.barrier(self.comm)
+        done = Completion(self.endpoint.engine, label=f"read_all@{offset}")
+
+        def after_sync(_v) -> None:
+            self.endpoint.engine.call_after(
+                self._io_time(nbytes, concurrent=self.comm.size),
+                lambda: done.resolve(self.file.read(offset, length)),
+            )
+
+        sync.on_done(after_sync)
+        return done
+
+    def close(self) -> None:
+        """MPI_File_close: further operations on this handle fail."""
+        self.closed = True

@@ -1,0 +1,52 @@
+"""``mpiexec`` for the simulated world.
+
+:func:`launch` performs what ``srun``/``mpiexec`` plus ``MPI_Init`` do:
+places ranks onto nodes, instantiates a fresh implementation instance (fresh
+handle counters, as a newly loaded library would have), builds the
+:class:`~repro.mpilib.world.MpiWorld`, and charges the modeled startup time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import math
+
+from repro.hardware.cluster import Cluster
+from repro.mpilib.impls import MpiImplementation, get_implementation
+from repro.mpilib.world import MpiWorld
+from repro.simtime import Engine
+
+
+def init_time(impl: MpiImplementation, n_ranks: int) -> float:
+    """Modeled MPI_Init wall time: out-of-band wire-up, O(log p)."""
+    return 0.05 + 0.01 * math.log2(max(n_ranks, 2))
+
+
+def launch(
+    engine: Engine,
+    cluster: Cluster,
+    n_ranks: int,
+    ranks_per_node: Optional[int] = None,
+    mpi: Optional[str] = None,
+    placement: Optional[list[int]] = None,
+) -> MpiWorld:
+    """Start an MPI job of ``n_ranks`` on ``cluster``.
+
+    ``mpi`` defaults to the cluster's recommended implementation (the
+    ``module load`` default).  An explicit ``placement`` (rank -> node id)
+    overrides the block placement — MANA's restart path uses this to model
+    topology-preserving or topology-changing restarts.
+    """
+    impl = get_implementation(mpi if mpi is not None else cluster.default_mpi)
+    if placement is None:
+        placement = cluster.place_ranks(n_ranks, ranks_per_node)
+    elif len(placement) != n_ranks:
+        raise ValueError(
+            f"placement covers {len(placement)} ranks, job has {n_ranks}"
+        )
+    world = MpiWorld(engine, cluster, impl, placement)
+    # MPI_Init happens "now"; advance the session's start cost by scheduling
+    # a zero-op event so `engine.now` reflects it once the job starts running.
+    world.init_finished_at = engine.now + init_time(impl, n_ranks)
+    return world

@@ -1,0 +1,123 @@
+"""MPI process topologies: Cartesian and graph.
+
+Topologies are among the "persistent MPI opaque objects" MANA records and
+replays (§2.2).  They also carry the paper's load-balancing point: on
+restart, a *fresh* MPI library re-optimises rank-to-host bindings for any
+topology declaration, because the topology is re-created through the normal
+MPI calls on the new cluster layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.mpilib.comm import MpiError
+
+
+def dims_create(nnodes: int, ndims: int) -> list[int]:
+    """MPI_Dims_create: balanced factorization of ``nnodes`` into ``ndims``.
+
+    Matches the standard's contract: dims are as close to each other as
+    possible, in non-increasing order, and their product equals ``nnodes``.
+    """
+    if nnodes <= 0 or ndims <= 0:
+        raise MpiError(f"dims_create({nnodes}, {ndims}): positive args required")
+    dims = [1] * ndims
+    remaining = nnodes
+    # Greedy: repeatedly assign the largest prime factor to the smallest dim.
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    for factor in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= factor
+    return sorted(dims, reverse=True)
+
+
+@dataclass(frozen=True)
+class CartTopology:
+    """A Cartesian topology (MPI_Cart_create result)."""
+
+    dims: tuple[int, ...]
+    periods: tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.dims) != len(self.periods):
+            raise MpiError("dims and periods must have the same length")
+        if any(d <= 0 for d in self.dims):
+            raise MpiError(f"non-positive cart dimension in {self.dims}")
+
+    @property
+    def size(self) -> int:
+        """Total ranks the Cartesian grid holds."""
+        n = 1
+        for d in self.dims:
+            n *= d
+        return n
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        """MPI_Cart_coords (row-major, as in MPICH)."""
+        if not 0 <= rank < self.size:
+            raise MpiError(f"rank {rank} outside cart of size {self.size}")
+        out = []
+        for d in reversed(self.dims):
+            out.append(rank % d)
+            rank //= d
+        return tuple(reversed(out))
+
+    def rank(self, coords: Sequence[int]) -> int:
+        """MPI_Cart_rank; periodic dims wrap, aperiodic out-of-range raises."""
+        if len(coords) != len(self.dims):
+            raise MpiError("coordinate dimensionality mismatch")
+        r = 0
+        for c, d, p in zip(coords, self.dims, self.periods):
+            if p:
+                c %= d
+            elif not 0 <= c < d:
+                raise MpiError(f"coordinate {c} outside aperiodic dim of {d}")
+            r = r * d + c
+        return r
+
+    def shift(self, rank: int, dim: int, disp: int) -> tuple[int | None, int | None]:
+        """MPI_Cart_shift: (source, dest) ranks; None = MPI_PROC_NULL."""
+        if not 0 <= dim < len(self.dims):
+            raise MpiError(f"cart dim {dim} out of range")
+        coords = list(self.coords(rank))
+
+        def neighbour(offset: int) -> int | None:
+            c = list(coords)
+            c[dim] += offset
+            if self.periods[dim]:
+                c[dim] %= self.dims[dim]
+                return self.rank(c)
+            if 0 <= c[dim] < self.dims[dim]:
+                return self.rank(c)
+            return None
+
+        return neighbour(-disp), neighbour(+disp)
+
+
+@dataclass(frozen=True)
+class GraphTopology:
+    """A general graph topology (MPI_Graph_create result)."""
+
+    #: adjacency as a tuple of neighbour tuples, index = comm rank.
+    edges: tuple[tuple[int, ...], ...]
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.edges)
+
+    def neighbors(self, rank: int) -> tuple[int, ...]:
+        """Neighbour ranks of ``rank``."""
+        if not 0 <= rank < self.size:
+            raise MpiError(f"rank {rank} outside graph of size {self.size}")
+        return self.edges[rank]

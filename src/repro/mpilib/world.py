@@ -1,0 +1,918 @@
+"""The live MPI session: a world of endpoints over a cluster's fabrics.
+
+An :class:`MpiWorld` is what ``MPI_Init`` across all ranks creates: per-rank
+:class:`MpiEndpoint` objects, a point-to-point engine with eager and
+rendezvous protocols over the cluster's interconnect (and a shared-memory
+transport for co-located ranks), and a collective engine with analytic work
+models.  The world *is* the lower half — MANA discards it wholesale at
+restart and builds a fresh one, possibly from a different implementation.
+
+Concurrency model: everything is event-driven on the shared
+:class:`~repro.simtime.Engine`.  An endpoint method is invoked synchronously
+inside some rank's event and returns a :class:`~repro.simtime.Completion`
+that resolves at the operation's modeled completion time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.mpilib import collectives as coll_models
+from repro.mpilib.comm import ANY_SOURCE, ANY_TAG, Communicator, Group, MpiError
+from repro.mpilib.impls import MpiImplementation
+from repro.mpilib.ops import ReduceOp
+from repro.mpilib.topology import CartTopology, GraphTopology
+from repro.net import Interconnect, make_interconnect
+from repro.net.fabrics import ShmemTransport
+from repro.simtime import Completion, Engine
+
+#: Minimal separation used to enforce per-channel FIFO delivery.
+_FIFO_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Status:
+    """MPI_Status subset: the envelope of a received message."""
+
+    source: int
+    tag: int
+    size: int
+
+
+@dataclass
+class Request:
+    """A nonblocking-operation handle (the lower half's real request)."""
+
+    handle: int
+    kind: str                      # "send" | "recv" | "coll"
+    completion: Completion
+    #: Set for recv requests so MANA can cancel/repost across checkpoints.
+    envelope: Optional[tuple] = None
+    #: recv requests: the pre-translation completion the matcher resolves.
+    inner: Optional[Completion] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the underlying completion resolved."""
+        return self.completion.done
+
+
+@dataclass
+class MsgRecord:
+    """An application-level p2p message, as the matching layer sees it."""
+
+    src: int                       # world rank of sender
+    dst: int                       # world rank of receiver
+    context_id: int
+    tag: int
+    data: Any
+    size: int
+    seq: int                       # per (src,dst) channel sequence
+
+
+@dataclass
+class _PostedRecv:
+    context_id: int
+    src: int                       # comm-local or ANY_SOURCE, stored as WORLD rank
+    tag: int
+    completion: Completion
+    cancelled: bool = False
+
+    def matches(self, msg: MsgRecord) -> bool:
+        return (
+            self.context_id == msg.context_id
+            and (self.src == ANY_SOURCE or self.src == msg.src)
+            and (self.tag == ANY_TAG or self.tag == msg.tag)
+        )
+
+
+@dataclass
+class _PendingRendezvous:
+    """Receiver-side record of an RTS whose data has not been pulled yet."""
+
+    record: MsgRecord              # data=None until the payload arrives
+    send_id: int
+
+
+class _CollectiveContext:
+    """One matched collective operation on one communicator."""
+
+    def __init__(self, op: str, expected: int) -> None:
+        self.op = op
+        self.expected = expected
+        self.root: Optional[int] = None
+        self.reduce_op: Optional[ReduceOp] = None
+        self.arrivals: dict[int, Any] = {}           # comm rank -> contribution
+        self.completions: dict[int, Completion] = {}
+        self.max_size = 0
+        self.extra: dict[int, Any] = {}               # per-rank extra args
+
+    @property
+    def complete(self) -> bool:
+        return len(self.arrivals) == self.expected
+
+
+class MpiWorld:
+    """All shared state of one MPI session."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        impl: MpiImplementation,
+        placement: list[int],
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        self.impl = impl
+        self.placement = list(placement)      # world rank -> node id
+        self.size = len(placement)
+        self.fabric: Interconnect = make_interconnect(cluster.interconnect, engine)
+        self.shmem: Interconnect = ShmemTransport(engine)
+        self._context_ids = itertools.count(100)
+        self._request_ids = itertools.count(1)
+        self._channel_seq: dict[tuple[int, int], int] = {}
+        self._channel_last_arrival: dict[tuple[int, int], float] = {}
+        self._colls: dict[tuple[int, int], _CollectiveContext] = {}
+        self._ctx_pickups: dict[tuple, int] = {}
+        self._ctx_memo: dict[tuple, int] = {}
+        self.finalized = False
+        #: cumulative p2p statistics (per experiment reporting)
+        self.p2p_messages = 0
+        self.p2p_bytes = 0
+
+        world_group = Group(tuple(range(self.size)))
+        world_ctx = next(self._context_ids)
+        self.endpoints = [
+            MpiEndpoint(self, rank, Communicator(
+                handle=impl.new_handle("comm"), context_id=world_ctx,
+                group=world_group, name="MPI_COMM_WORLD",
+            ))
+            for rank in range(self.size)
+        ]
+
+    # ------------------------------------------------------------- helpers
+
+    def node_of(self, world_rank: int) -> int:
+        """Node id hosting a world rank."""
+        return self.placement[world_rank]
+
+    def transport_between(self, src_rank: int, dst_rank: int) -> Interconnect:
+        """Shared memory for co-located ranks, the fabric otherwise."""
+        if self.node_of(src_rank) == self.node_of(dst_rank):
+            return self.shmem
+        return self.fabric
+
+    def transport_for_group(self, group: Group) -> Interconnect:
+        """Shared memory if the group is single-node, else the fabric."""
+        nodes = {self.node_of(w) for w in group.world_ranks}
+        return self.shmem if len(nodes) <= 1 else self.fabric
+
+    def new_context_id(self) -> int:
+        """Mint a fresh communicator context id."""
+        return next(self._context_ids)
+
+    def new_request_handle(self) -> int:
+        """Mint a fresh real request handle."""
+        return self.impl.new_handle("request")
+
+    def shared_context_id(
+        self, op_kind: str, parent_ctx: int, comm_size: int, color_key: Any = None
+    ) -> int:
+        """Context id shared by every rank of one comm-management collective.
+
+        Each participating rank calls this exactly once per operation
+        instance, from its own completion callback.  Instances are identified
+        by a pickup counter: the ``i``-th block of ``comm_size`` pickups of
+        the same ``(op_kind, parent_ctx)`` belongs to instance ``i`` —
+        collectives on one communicator are totally ordered, so blocks never
+        interleave.  ``color_key`` separates the per-color communicators of
+        MPI_Comm_split within one instance.
+        """
+        count_key = (op_kind, parent_ctx)
+        count = self._ctx_pickups.get(count_key, 0)
+        self._ctx_pickups[count_key] = count + 1
+        instance = count // comm_size
+        memo_key = (op_kind, parent_ctx, instance, color_key)
+        ctx = self._ctx_memo.get(memo_key)
+        if ctx is None:
+            ctx = self._ctx_memo[memo_key] = self.new_context_id()
+        return ctx
+
+    # -------------------------------------------------------- wire helpers
+
+    def wire_send(
+        self, src: int, dst: int, size: int, payload: Any, meta: dict
+    ) -> Completion:
+        """FIFO-ordered transfer between two world ranks; resolves on arrival.
+
+        Per-channel delivery is serialized at the link bandwidth: a message
+        cannot finish arriving before its predecessor plus its own wire
+        occupancy.  This models a point-to-point link as a shared serial
+        resource (what makes flooding benchmarks saturate at β).
+        """
+        transport = self.transport_between(src, dst)
+        chan = (src, dst)
+        nb = self._channel_last_arrival.get(chan, 0.0) \
+            + size / transport.beta + _FIFO_EPS
+        _msg, done = transport.transmit(
+            self.node_of(src), self.node_of(dst), size,
+            payload=payload, meta=meta, not_before=nb,
+        )
+        self._channel_last_arrival[chan] = _msg.meta["arrival"]
+        return done
+
+    def next_channel_seq(self, src: int, dst: int) -> int:
+        """Next per-(src,dst) message sequence number."""
+        chan = (src, dst)
+        seq = self._channel_seq.get(chan, 0)
+        self._channel_seq[chan] = seq + 1
+        return seq
+
+    # ------------------------------------------------------- drain support
+
+    @property
+    def in_flight_p2p(self) -> int:
+        """Wire-level messages currently in flight (both transports)."""
+        return self.fabric.in_flight_count + self.shmem.in_flight_count
+
+    # ------------------------------------------------------ collective core
+
+    def collective_arrive(
+        self,
+        endpoint: "MpiEndpoint",
+        comm: Communicator,
+        op: str,
+        contribution: Any,
+        size: int,
+        root: Optional[int] = None,
+        reduce_op: Optional[ReduceOp] = None,
+        extra: Any = None,
+    ) -> Completion:
+        """A rank enters a collective; resolves when the matched op finishes."""
+        comm_rank = comm.rank_of_world(endpoint.rank)
+        if comm_rank is None:
+            raise MpiError(
+                f"rank {endpoint.rank} called {op} on communicator "
+                f"{comm.name!r} it does not belong to"
+            )
+        seq = endpoint.bump_coll_seq(comm.context_id)
+        key = (comm.context_id, seq)
+        ctx = self._colls.get(key)
+        if ctx is None:
+            ctx = _CollectiveContext(op, expected=comm.size)
+            self._colls[key] = ctx
+        if ctx.op != op:
+            raise MpiError(
+                f"collective mismatch on {comm.name!r}: rank {endpoint.rank} "
+                f"called {op} but the matched operation is {ctx.op}"
+            )
+        if root is not None:
+            if ctx.root is None:
+                ctx.root = root
+            elif ctx.root != root:
+                raise MpiError(
+                    f"{op} root mismatch on {comm.name!r}: {root} vs {ctx.root}"
+                )
+        if reduce_op is not None:
+            if ctx.reduce_op is None:
+                ctx.reduce_op = reduce_op
+            elif ctx.reduce_op.name != reduce_op.name:
+                raise MpiError(f"{op} reduce-op mismatch on {comm.name!r}")
+        if comm_rank in ctx.arrivals:
+            raise MpiError(f"rank {endpoint.rank} entered {op} twice (seq {seq})")
+        ctx.arrivals[comm_rank] = contribution
+        if extra is not None:
+            ctx.extra[comm_rank] = extra
+        ctx.max_size = max(ctx.max_size, size)
+        done = Completion(self.engine, label=f"{op}@{comm.name}#{seq}r{comm_rank}")
+        ctx.completions[comm_rank] = done
+        if ctx.complete:
+            self._finish_collective(comm, ctx, key)
+        return done
+
+    def _finish_collective(
+        self, comm: Communicator, ctx: _CollectiveContext, key: tuple[int, int]
+    ) -> None:
+        net = self.transport_for_group(comm.group)
+        duration = coll_models.collective_duration(
+            ctx.op, ctx.max_size, comm.size, net, self.impl
+        )
+        results = _collective_results(ctx, comm)
+        del self._colls[key]
+        for comm_rank, completion in ctx.completions.items():
+            completion.resolve_after(duration, results[comm_rank])
+
+    @property
+    def open_collectives(self) -> int:
+        """Collectives some rank has entered but not all (protocol tests)."""
+        return len(self._colls)
+
+
+def _copy(value: Any) -> Any:
+    """Value semantics at the MPI boundary (send buffers are caller-owned)."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    return value
+
+
+def _collective_results(ctx: _CollectiveContext, comm: Communicator) -> dict[int, Any]:
+    """Compute each comm rank's result for a completed collective."""
+    p = ctx.expected
+    arrivals = ctx.arrivals
+    op = ctx.op
+    if op == "barrier":
+        return {r: None for r in range(p)}
+    if op == "bcast":
+        data = _copy(arrivals[ctx.root])
+        return {r: _copy(data) for r in range(p)}
+    if op == "reduce":
+        combined = ctx.reduce_op.reduce_all([arrivals[r] for r in range(p)])
+        return {r: (combined if r == ctx.root else None) for r in range(p)}
+    if op == "allreduce":
+        combined = ctx.reduce_op.reduce_all([arrivals[r] for r in range(p)])
+        return {r: _copy(combined) for r in range(p)}
+    if op == "gather":
+        gathered = [_copy(arrivals[r]) for r in range(p)]
+        return {r: (gathered if r == ctx.root else None) for r in range(p)}
+    if op == "allgather":
+        gathered = [_copy(arrivals[r]) for r in range(p)]
+        return {r: [_copy(v) for v in gathered] for r in range(p)}
+    if op == "scatter":
+        chunks = arrivals[ctx.root]
+        if chunks is None or len(chunks) != p:
+            raise MpiError(f"scatter root must supply {p} chunks")
+        return {r: _copy(chunks[r]) for r in range(p)}
+    if op == "alltoall":
+        for r in range(p):
+            if len(arrivals[r]) != p:
+                raise MpiError(f"alltoall rank {r} must supply {p} chunks")
+        return {r: [_copy(arrivals[s][r]) for s in range(p)] for r in range(p)}
+    if op == "reduce_scatter":
+        combined = ctx.reduce_op.reduce_all([arrivals[r] for r in range(p)])
+        blocks = np.array_split(np.asarray(combined), p)
+        return {r: blocks[r].copy() for r in range(p)}
+    if op == "scan":
+        out: dict[int, Any] = {}
+        acc = None
+        for r in range(p):
+            acc = arrivals[r] if acc is None else ctx.reduce_op.combine(acc, arrivals[r])
+            out[r] = _copy(np.asarray(acc))
+        return out
+    raise MpiError(f"unhandled collective {op!r}")
+
+
+class MpiEndpoint:
+    """One rank's window into the MPI session (its lower-half library)."""
+
+    def __init__(self, world: MpiWorld, rank: int, comm_world: Communicator) -> None:
+        self.world = world
+        self.rank = rank
+        self.comm_world = comm_world
+        self.node_id = world.node_of(rank)
+        self._posted: list[_PostedRecv] = []
+        self._unexpected: list[MsgRecord] = []
+        self._pending_rts: list[_PendingRendezvous] = []
+        self._coll_seq: dict[int, int] = {}
+        #: When set, *all* newly arriving messages are handed to this sink
+        #: instead of the matching layer (MANA's drain mode).
+        self.drain_sink: Optional[Callable[[MsgRecord], None]] = None
+        #: statistics
+        self.calls = 0
+
+    # ---------------------------------------------------------- accounting
+
+    @property
+    def impl(self) -> MpiImplementation:
+        """The implementation this endpoint belongs to."""
+        return self.world.impl
+
+    @property
+    def engine(self) -> Engine:
+        """The shared simulation engine."""
+        return self.world.engine
+
+    def bump_coll_seq(self, context_id: int) -> int:
+        """Advance this rank's collective sequence on a context."""
+        seq = self._coll_seq.get(context_id, 0)
+        self._coll_seq[context_id] = seq + 1
+        return seq
+
+    def _entry_cost(self, extra_cpu: float, payload_bytes: int = 0) -> float:
+        """CPU time consumed inside the library before anything moves."""
+        return (
+            self.impl.call_overhead
+            + extra_cpu
+            + self.impl.copy_cost_per_byte * payload_bytes
+        )
+
+    # ----------------------------------------------------------------- p2p
+
+    def isend(
+        self,
+        dest: int,
+        data: Any,
+        tag: int = 0,
+        comm: Optional[Communicator] = None,
+        size: Optional[int] = None,
+        extra_cpu: float = 0.0,
+    ) -> Request:
+        """Nonblocking send.  ``size`` overrides the modeled wire size
+        (defaults to the numpy payload's nbytes, or 64 for objects)."""
+        comm = comm or self.comm_world
+        comm.validate_rank(dest)
+        self.calls += 1
+        dst_world = comm.world_of_rank(dest)
+        wire = int(size if size is not None else _default_size(data))
+        seq = self.world.next_channel_seq(self.rank, dst_world)
+        record = MsgRecord(
+            src=self.rank, dst=dst_world, context_id=comm.context_id,
+            tag=tag, data=_copy(data), size=wire, seq=seq,
+        )
+        self.world.p2p_messages += 1
+        self.world.p2p_bytes += wire
+        done = Completion(self.engine, label=f"send{self.rank}->{dst_world}")
+        req = Request(self.world.new_request_handle(), "send", done)
+        cpu = self._entry_cost(extra_cpu, wire) + \
+            self.world.transport_between(self.rank, dst_world).per_message_cpu
+
+        if wire <= self.impl.eager_threshold:
+            # Eager: inject at once; local completion after CPU cost.
+            arrival = self.world.wire_send(
+                self.rank, dst_world, wire, payload=record, meta={"kind": "eager"},
+            )
+            arrival.on_done(
+                lambda msg: self.world.endpoints[dst_world]._on_data_arrival(record)
+            )
+            done.resolve_after(cpu)
+        else:
+            # Rendezvous: RTS now; data flows once the receiver clears it.
+            send_id = self.world.new_request_handle()
+            rts = MsgRecord(
+                src=self.rank, dst=dst_world, context_id=comm.context_id,
+                tag=tag, data=None, size=wire, seq=seq,
+            )
+            arrival = self.world.wire_send(
+                self.rank, dst_world, 0, payload=rts,
+                meta={"kind": "rts", "send_id": send_id},
+            )
+            self._rendezvous_out = getattr(self, "_rendezvous_out", {})
+            self._rendezvous_out[send_id] = (record, done, cpu)
+            arrival.on_done(
+                lambda msg: self.world.endpoints[dst_world]._on_rts(rts, send_id)
+            )
+        return req
+
+    def send(self, *args: Any, **kwargs: Any) -> Completion:
+        """Blocking send: same as isend, caller awaits the completion."""
+        return self.isend(*args, **kwargs).completion
+
+    def irecv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        comm: Optional[Communicator] = None,
+        extra_cpu: float = 0.0,
+    ) -> Request:
+        """Nonblocking receive; completion resolves with (data, Status)."""
+        comm = comm or self.comm_world
+        comm.validate_rank(source, allow_any=True)
+        self.calls += 1
+        src_world = (
+            ANY_SOURCE if source == ANY_SOURCE else comm.world_of_rank(source)
+        )
+        inner = Completion(self.engine, label=f"recv@{self.rank}")
+        posted = _PostedRecv(
+            context_id=comm.context_id, src=src_world, tag=tag, completion=inner,
+        )
+        # Applications see comm-local source ranks in the status, matching
+        # MPI semantics; the matching layer works in world ranks throughout.
+        done = Completion(self.engine, label=f"recv@{self.rank}:app")
+
+        def translate(value: Any) -> None:
+            data, status = value
+            local = comm.rank_of_world(status.source)
+            done.resolve((data, Status(local, status.tag, status.size)))
+
+        inner.on_done(translate)
+        req = Request(
+            self.world.new_request_handle(), "recv", done,
+            envelope=(comm.context_id, src_world, tag),
+        )
+        req.inner = inner
+        cpu = self._entry_cost(extra_cpu)
+        # Check the unexpected queue first (in arrival order).
+        for i, msg in enumerate(self._unexpected):
+            if posted.matches(msg):
+                del self._unexpected[i]
+                inner.resolve_after(
+                    cpu + self.impl.copy_cost_per_byte * msg.size,
+                    (msg.data, Status(msg.src, msg.tag, msg.size)),
+                )
+                return req
+        # Check pending rendezvous RTS records.
+        for i, pend in enumerate(self._pending_rts):
+            if posted.matches(pend.record):
+                del self._pending_rts[i]
+                self._accept_rendezvous(pend, posted)
+                return req
+        self._posted.append(posted)
+        return req
+
+    def recv(self, *args: Any, **kwargs: Any) -> Completion:
+        """Blocking receive: completion resolves with (data, Status)."""
+        return self.irecv(*args, **kwargs).completion
+
+    def cancel_recv(self, req: Request) -> None:
+        """MPI_Cancel for a posted receive (used by MANA across checkpoints)."""
+        if req.kind != "recv":
+            raise MpiError("cancel_recv on a non-recv request")
+        for i, posted in enumerate(self._posted):
+            if posted.completion is req.inner:
+                posted.cancelled = True
+                del self._posted[i]
+                req.inner.cancel()
+                req.completion.cancel()
+                return
+        # Already matched or already cancelled: nothing to do.
+
+    # ------------------------------------------------------ p2p internals
+
+    def _on_data_arrival(self, record: MsgRecord) -> None:
+        """An eager payload (or rendezvous data) reached this rank's NIC."""
+        if self.drain_sink is not None:
+            self.drain_sink(record)
+            return
+        for i, posted in enumerate(self._posted):
+            if posted.matches(record):
+                del self._posted[i]
+                posted.completion.resolve(
+                    (record.data, Status(record.src, record.tag, record.size))
+                )
+                return
+        self._unexpected.append(record)
+
+    def _on_rts(self, rts: MsgRecord, send_id: int) -> None:
+        """A rendezvous request-to-send arrived."""
+        pend = _PendingRendezvous(record=rts, send_id=send_id)
+        if self.drain_sink is not None:
+            self._accept_rendezvous(pend, posted=None)
+            return
+        for i, posted in enumerate(self._posted):
+            if posted.matches(rts):
+                del self._posted[i]
+                self._accept_rendezvous(pend, posted)
+                return
+        self._pending_rts.append(pend)
+
+    def _accept_rendezvous(
+        self, pend: _PendingRendezvous, posted: Optional[_PostedRecv]
+    ) -> None:
+        """Send CTS back; the sender then streams the payload."""
+        sender = self.world.endpoints[pend.record.src]
+        cts = self.world.wire_send(
+            self.rank, pend.record.src, 0, payload=None,
+            meta={"kind": "cts", "send_id": pend.send_id},
+        )
+
+        def on_cts(_msg: Any) -> None:
+            record, send_done, cpu = sender._rendezvous_out.pop(pend.send_id)
+            data_arrival = self.world.wire_send(
+                record.src, record.dst, record.size, payload=record,
+                meta={"kind": "data", "send_id": pend.send_id},
+            )
+            send_done.resolve_after(cpu)
+
+            def on_data(_m: Any) -> None:
+                if posted is None or posted.cancelled or self.drain_sink is not None:
+                    # Drain mode (or the recv went away): sink or queue it.
+                    if self.drain_sink is not None:
+                        self.drain_sink(record)
+                    else:
+                        self._on_data_arrival(record)
+                else:
+                    posted.completion.resolve(
+                        (record.data, Status(record.src, record.tag, record.size))
+                    )
+
+            data_arrival.on_done(on_data)
+
+        cts.on_done(on_cts)
+
+    # ---------------------------------------------------------- drain API
+
+    def harvest_unexpected(self) -> list[MsgRecord]:
+        """Pull everything out of the lower half's unexpected queue and
+        auto-accept any pending rendezvous RTS (their data will flow to the
+        drain sink).  Called by MANA at the start of draining."""
+        out, self._unexpected = self._unexpected, []
+        pending, self._pending_rts = self._pending_rts, []
+        for pend in pending:
+            self._accept_rendezvous(pend, posted=None)
+        return out
+
+    @property
+    def unexpected_count(self) -> int:
+        """Messages delivered but not yet matched (incl. parked RTS)."""
+        return len(self._unexpected) + len(self._pending_rts)
+
+    @property
+    def posted_recv_count(self) -> int:
+        """Receives posted to the matching layer and still open."""
+        return len(self._posted)
+
+    # ----------------------------------------------------------- waits
+
+    def waitall(self, requests: list[Request]) -> Completion:
+        """MPI_Waitall: resolves with the list of request values."""
+        from repro.simtime.engine import all_of
+
+        return all_of(
+            self.engine, [r.completion for r in requests], label="waitall"
+        )
+
+    # ------------------------------------------------------- collectives
+
+    def barrier(self, comm: Optional[Communicator] = None,
+                extra_cpu: float = 0.0) -> Completion:
+        """MPI_Barrier."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        return self.world.collective_arrive(self, comm, "barrier", None, 0)
+
+    def ibarrier(self, comm: Optional[Communicator] = None) -> Request:
+        """Nonblocking barrier (MPI-3); used by the §4.2 extension."""
+        done = self.barrier(comm)
+        return Request(self.world.new_request_handle(), "coll", done)
+
+    def bcast(self, data: Any, root: int, comm: Optional[Communicator] = None,
+              size: Optional[int] = None, extra_cpu: float = 0.0) -> Completion:
+        """MPI_Bcast from ``root``."""
+        comm = comm or self.comm_world
+        comm.validate_rank(root)
+        self.calls += 1
+        me = comm.rank_of_world(self.rank)
+        contribution = data if me == root else None
+        wire = int(size if size is not None else _default_size(data))
+        return self.world.collective_arrive(
+            self, comm, "bcast", contribution, wire, root=root
+        )
+
+    def reduce(self, data: Any, op: ReduceOp, root: int,
+               comm: Optional[Communicator] = None,
+               size: Optional[int] = None, extra_cpu: float = 0.0) -> Completion:
+        """MPI_Reduce to ``root``."""
+        comm = comm or self.comm_world
+        comm.validate_rank(root)
+        self.calls += 1
+        wire = int(size if size is not None else _default_size(data))
+        return self.world.collective_arrive(
+            self, comm, "reduce", data, wire, root=root, reduce_op=op
+        )
+
+    def allreduce(self, data: Any, op: ReduceOp,
+                  comm: Optional[Communicator] = None,
+                  size: Optional[int] = None, extra_cpu: float = 0.0) -> Completion:
+        """MPI_Allreduce."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        wire = int(size if size is not None else _default_size(data))
+        return self.world.collective_arrive(
+            self, comm, "allreduce", data, wire, reduce_op=op
+        )
+
+    def gather(self, data: Any, root: int, comm: Optional[Communicator] = None,
+               size: Optional[int] = None, extra_cpu: float = 0.0) -> Completion:
+        """MPI_Gather to ``root``."""
+        comm = comm or self.comm_world
+        comm.validate_rank(root)
+        self.calls += 1
+        wire = int(size if size is not None else _default_size(data))
+        return self.world.collective_arrive(
+            self, comm, "gather", data, wire, root=root
+        )
+
+    def allgather(self, data: Any, comm: Optional[Communicator] = None,
+                  size: Optional[int] = None, extra_cpu: float = 0.0) -> Completion:
+        """MPI_Allgather."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        wire = int(size if size is not None else _default_size(data))
+        return self.world.collective_arrive(self, comm, "allgather", data, wire)
+
+    def scatter(self, chunks: Any, root: int, comm: Optional[Communicator] = None,
+                size: Optional[int] = None, extra_cpu: float = 0.0) -> Completion:
+        """MPI_Scatter from ``root``."""
+        comm = comm or self.comm_world
+        comm.validate_rank(root)
+        self.calls += 1
+        me = comm.rank_of_world(self.rank)
+        contribution = chunks if me == root else None
+        wire = int(size if size is not None else _default_size(chunks))
+        return self.world.collective_arrive(
+            self, comm, "scatter", contribution, wire, root=root
+        )
+
+    def alltoall(self, chunks: list, comm: Optional[Communicator] = None,
+                 size: Optional[int] = None, extra_cpu: float = 0.0) -> Completion:
+        """MPI_Alltoall."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        wire = int(size if size is not None else _default_size(chunks))
+        return self.world.collective_arrive(self, comm, "alltoall", chunks, wire)
+
+    def reduce_scatter(self, data: Any, op: ReduceOp,
+                       comm: Optional[Communicator] = None,
+                       size: Optional[int] = None) -> Completion:
+        """MPI_Reduce_scatter (equal blocks)."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        wire = int(size if size is not None else _default_size(data))
+        return self.world.collective_arrive(
+            self, comm, "reduce_scatter", data, wire, reduce_op=op
+        )
+
+    def scan(self, data: Any, op: ReduceOp,
+             comm: Optional[Communicator] = None,
+             size: Optional[int] = None) -> Completion:
+        """MPI_Scan (inclusive prefix reduction)."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        wire = int(size if size is not None else _default_size(data))
+        return self.world.collective_arrive(
+            self, comm, "scan", data, wire, reduce_op=op
+        )
+
+    # --------------------------------------------- communicator management
+
+    def comm_dup(self, comm: Optional[Communicator] = None) -> Completion:
+        """Collective; resolves with this rank's new Communicator."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        done = self.world.collective_arrive(self, comm, "allgather", ("dup",), 8)
+        out = Completion(self.engine, label="comm_dup")
+
+        def finish(_vals: Any) -> None:
+            ctx = self.world.shared_context_id("dup", comm.context_id, comm.size)
+            out.resolve(Communicator(
+                handle=self.impl.new_handle("comm"), context_id=ctx,
+                group=comm.group, name=f"{comm.name}.dup",
+            ))
+
+        done.on_done(finish)
+        return out
+
+    def comm_split(self, color: int, key: int,
+                   comm: Optional[Communicator] = None) -> Completion:
+        """Collective; resolves with the new Communicator (or None if
+        color < 0, the MPI_UNDEFINED convention)."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        done = self.world.collective_arrive(
+            self, comm, "allgather", (color, key, self.rank), 12
+        )
+        out = Completion(self.engine, label="comm_split")
+
+        def finish(values: list) -> None:
+            me = comm.rank_of_world(self.rank)
+            my_color = values[me][0]
+            if my_color < 0:
+                out.resolve(None)
+                return
+            members = sorted(
+                (k, w) for (c, k, w) in values if c == my_color
+            )
+            group = Group(tuple(w for _k, w in members))
+            ctx = self.world.shared_context_id("split", comm.context_id, comm.size, my_color)
+            out.resolve(Communicator(
+                handle=self.impl.new_handle("comm"), context_id=ctx,
+                group=group, name=f"{comm.name}.split({my_color})",
+            ))
+
+        done.on_done(finish)
+        return out
+
+    def comm_create(self, group: Group,
+                    comm: Optional[Communicator] = None) -> Completion:
+        """Collective over ``comm``; resolves with the new Communicator for
+        members of ``group``, None for non-members."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        done = self.world.collective_arrive(
+            self, comm, "allgather", tuple(group.world_ranks), 8
+        )
+        out = Completion(self.engine, label="comm_create")
+
+        def finish(values: list) -> None:
+            if any(v != values[0] for v in values):
+                out.cancel()
+                raise MpiError("comm_create called with differing groups")
+            ctx = self.world.shared_context_id("create", comm.context_id, comm.size)
+            if group.rank_of(self.rank) is None:
+                out.resolve(None)
+            else:
+                out.resolve(Communicator(
+                    handle=self.impl.new_handle("comm"), context_id=ctx,
+                    group=group, name=f"{comm.name}.create",
+                ))
+
+        done.on_done(finish)
+        return out
+
+    def cart_create(self, dims: list[int], periods: list[bool],
+                    comm: Optional[Communicator] = None,
+                    reorder: bool = True) -> Completion:
+        """Collective; resolves with a Communicator carrying a CartTopology."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        topo = CartTopology(tuple(dims), tuple(bool(p) for p in periods))
+        if topo.size != comm.size:
+            raise MpiError(
+                f"cart_create dims {dims} need {topo.size} ranks, "
+                f"communicator has {comm.size}"
+            )
+        done = self.world.collective_arrive(
+            self, comm, "allgather", ("cart", tuple(dims)), 8
+        )
+        out = Completion(self.engine, label="cart_create")
+
+        def finish(_values: Any) -> None:
+            ctx = self.world.shared_context_id("topo", comm.context_id, comm.size)
+            new = Communicator(
+                handle=self.impl.new_handle("comm"), context_id=ctx,
+                group=comm.group, name=f"{comm.name}.cart",
+            )
+            new.topology = topo
+            out.resolve(new)
+
+        done.on_done(finish)
+        return out
+
+    def file_open(self, path: str, mode: str = "rw",
+                  comm: Optional[Communicator] = None) -> Completion:
+        """MPI_File_open: collective over ``comm``; resolves with this
+        rank's :class:`~repro.mpilib.io.MpiFile` handle."""
+        from repro.mpilib.io import MpiFile
+
+        comm = comm or self.comm_world
+        self.calls += 1
+        done = self.world.collective_arrive(
+            self, comm, "allgather", (path, mode), 8
+        )
+        out = Completion(self.engine, label="file_open")
+
+        def finish(values: list) -> None:
+            if any(v != values[0] for v in values):
+                out.cancel()
+                raise MpiError(
+                    f"file_open mismatch across ranks: {sorted(set(values))}"
+                )
+            sim_file = self.world.cluster.fs.open(path)
+            out.resolve(MpiFile(
+                handle=self.impl.new_handle("file"), file=sim_file,
+                comm=comm, endpoint=self, mode=mode,
+            ))
+
+        done.on_done(finish)
+        return out
+
+    def graph_create(self, edges: list[tuple[int, ...]],
+                     comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Graph_create (collective)."""
+        comm = comm or self.comm_world
+        self.calls += 1
+        topo = GraphTopology(tuple(tuple(e) for e in edges))
+        if topo.size != comm.size:
+            raise MpiError("graph_create edge list must cover every rank")
+        done = self.world.collective_arrive(
+            self, comm, "allgather", ("graph",), 8
+        )
+        out = Completion(self.engine, label="graph_create")
+
+        def finish(_values: Any) -> None:
+            ctx = self.world.shared_context_id("topo", comm.context_id, comm.size)
+            new = Communicator(
+                handle=self.impl.new_handle("comm"), context_id=ctx,
+                group=comm.group, name=f"{comm.name}.graph",
+            )
+            new.topology = topo
+            out.resolve(new)
+
+        done.on_done(finish)
+        return out
+
+
+def _default_size(data: Any) -> int:
+    """Modeled wire size when the caller does not override it."""
+    if isinstance(data, np.ndarray):
+        return data.nbytes
+    if isinstance(data, (bytes, bytearray)):
+        return len(data)
+    return 64
+
+

@@ -1,0 +1,188 @@
+"""The interpreter: executes a program tree with a picklable continuation.
+
+The interpreter itself performs no I/O and owns no clock — it is a pure
+state machine exposing :meth:`Interpreter.next_action` ("what leaf comes
+next?") and :meth:`Interpreter.leaf_done` ("that leaf finished; advance").
+Rank drivers (native or MANA) own the scheduling policy: they decide when to
+execute the returned leaves against the simulation engine, which is what
+lets a checkpoint helper freeze a rank *between* those decisions.
+
+Continuations are stacks of :class:`Frame` records holding node paths and
+counters only — ``snapshot()`` / ``restore()`` round-trip through pickle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mprog.ast import (
+    Call,
+    Compute,
+    If,
+    Loop,
+    Node,
+    Program,
+    ProgramError,
+    Seq,
+    While,
+)
+
+
+class ProgramState(dict):
+    """Application state: a plain dict with attribute sugar.
+
+    Everything stored here must be picklable; under MANA the state lives on
+    the upper-half heap and is part of the checkpoint image.
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self[name] = value
+
+
+@dataclass
+class Frame:
+    """One continuation frame.  ``kind`` is the node type short name."""
+
+    path: tuple[int, ...]
+    kind: str                    # "seq" | "loop" | "while" | "if" | "leaf"
+    idx: int = 0                 # seq: next child
+    iters: int = 0               # loop/while: completed passes
+    count: int = 0               # loop: evaluated bound
+    branch: int = -1             # if: -1 undecided, 0 then, 1 else, 2 done
+
+
+@dataclass(frozen=True)
+class Action:
+    """What the driver should do next."""
+
+    kind: str                    # "compute" | "call" | "done"
+    node: Optional[Node] = None
+    path: tuple[int, ...] = ()
+
+
+class Interpreter:
+    """Drives one rank's program; the continuation is fully serializable."""
+
+    def __init__(self, program: Program, state: Optional[ProgramState] = None) -> None:
+        self.program = program
+        self.state = state if state is not None else ProgramState()
+        self.stack: list[Frame] = [self._open_frame((), program.root)]
+        self.finished = False
+        #: number of leaves completed (diagnostics / progress reporting)
+        self.leaves_done = 0
+
+    # ----------------------------------------------------------- execution
+
+    def next_action(self) -> Action:
+        """The next leaf to execute (idempotent until :meth:`leaf_done`)."""
+        while self.stack:
+            frame = self.stack[-1]
+            if frame.kind == "leaf":
+                node = self.program.node_at(frame.path)
+                return Action(
+                    kind="compute" if isinstance(node, Compute) else "call",
+                    node=node, path=frame.path,
+                )
+            node = self.program.node_at(frame.path)
+            child_idx = self._select_child(frame, node)
+            if child_idx is None:
+                self._pop()
+                continue
+            child = node.children[child_idx]
+            child_path = frame.path + (child_idx,)
+            self.stack.append(self._open_frame(child_path, child))
+        self.finished = True
+        return Action(kind="done")
+
+    def leaf_done(self) -> None:
+        """The current leaf finished; advance past it."""
+        if not self.stack or self.stack[-1].kind != "leaf":
+            raise ProgramError("leaf_done with no leaf in progress")
+        self.leaves_done += 1
+        self._pop()
+
+    # --------------------------------------------------------- persistence
+
+    def snapshot(self) -> dict:
+        """Picklable continuation (the state dict travels separately)."""
+        return {
+            "stack": [
+                (f.path, f.kind, f.idx, f.iters, f.count, f.branch)
+                for f in self.stack
+            ],
+            "finished": self.finished,
+            "leaves_done": self.leaves_done,
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Install a continuation captured by :meth:`snapshot`.
+
+        The program tree must be the same text (same shape); paths are
+        validated against it.
+        """
+        stack = []
+        for path, kind, idx, iters, count, branch in snap["stack"]:
+            self.program.node_at(path)  # validates
+            stack.append(Frame(tuple(path), kind, idx, iters, count, branch))
+        self.stack = stack
+        self.finished = bool(snap["finished"])
+        self.leaves_done = int(snap["leaves_done"])
+
+    # ------------------------------------------------------------ internals
+
+    def _open_frame(self, path: tuple[int, ...], node: Node) -> Frame:
+        if isinstance(node, Seq):
+            return Frame(path, "seq")
+        if isinstance(node, Loop):
+            frame = Frame(path, "loop", count=node.eval_count(self.state))
+            if node.var is not None:
+                self.state[node.var] = 0
+            return frame
+        if isinstance(node, While):
+            return Frame(path, "while")
+        if isinstance(node, If):
+            return Frame(path, "if")
+        if isinstance(node, (Compute, Call)):
+            return Frame(path, "leaf")
+        raise ProgramError(f"unknown node type {type(node).__name__}")
+
+    def _select_child(self, frame: Frame, node: Node) -> Optional[int]:
+        """Which child to run next, or None if the frame is exhausted."""
+        if frame.kind == "seq":
+            return frame.idx if frame.idx < len(node.children) else None
+        if frame.kind == "loop":
+            if frame.iters >= frame.count:
+                return None
+            if node.var is not None:
+                self.state[node.var] = frame.iters
+            return 0
+        if frame.kind == "while":
+            return 0 if node.cond(self.state) else None
+        if frame.kind == "if":
+            if frame.branch == 2:
+                return None
+            if frame.branch == -1:
+                frame.branch = 0 if node.cond(self.state) else 1
+            if frame.branch == 1 and node.orelse is None:
+                return None
+            return frame.branch
+        raise ProgramError(f"unexpected frame kind {frame.kind!r}")
+
+    def _pop(self) -> None:
+        self.stack.pop()
+        if not self.stack:
+            return
+        parent = self.stack[-1]
+        if parent.kind == "seq":
+            parent.idx += 1
+        elif parent.kind in ("loop", "while"):
+            parent.iters += 1
+        elif parent.kind == "if":
+            parent.branch = 2

@@ -1,0 +1,39 @@
+"""Simulated network interconnects.
+
+MANA's second agnosticism axis: the paper's pitch is one code base over *n*
+network libraries (Aries GNI, InfiniBand verbs, TCP sockets, intra-node
+shared memory, …).  For the claim to be exercised rather than stubbed, each
+interconnect here differs in
+
+* latency/bandwidth (α/β) characteristics,
+* per-message host CPU cost,
+* and — crucially for checkpointing — the set of *lower-half memory regions*
+  its driver maps into the process (pinned DMA buffers, driver mmaps, and
+  shared-memory segments that grow with node count, §3.2.2).
+
+In-flight traffic is tracked per interconnect instance so that MANA's drain
+phase can assert the network is empty before a checkpoint is cut.
+"""
+
+from repro.net.base import DriverRegionSpec, Interconnect, Message, NetworkError
+from repro.net.fabrics import (
+    INTERCONNECTS,
+    AriesInterconnect,
+    InfinibandInterconnect,
+    ShmemTransport,
+    TcpInterconnect,
+    make_interconnect,
+)
+
+__all__ = [
+    "AriesInterconnect",
+    "DriverRegionSpec",
+    "INTERCONNECTS",
+    "InfinibandInterconnect",
+    "Interconnect",
+    "Message",
+    "NetworkError",
+    "ShmemTransport",
+    "TcpInterconnect",
+    "make_interconnect",
+]

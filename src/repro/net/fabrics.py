@@ -1,0 +1,128 @@
+"""Concrete fabrics: Aries, InfiniBand, TCP, and intra-node shared memory.
+
+Timing constants are calibrated to public OSU-microbenchmark measurements on
+the corresponding hardware generation (Cori Aries, FDR InfiniBand, 10 GbE)
+— see EXPERIMENTS.md.  Absolute values matter less than their ordering and
+the α-dominated small-message / β-dominated large-message regimes, which is
+what the paper's Figures 4 and 5 exercise.
+"""
+
+from __future__ import annotations
+
+from repro.memory.region import RegionKind
+from repro.net.base import DriverRegionSpec, Interconnect
+from repro.simtime import Engine
+
+MB = 1 << 20
+
+
+class AriesInterconnect(Interconnect):
+    """Cray Aries (GNI/uGNI), as on Cori."""
+
+    name = "aries"
+    alpha = 1.3e-6
+    beta = 10.0e9
+    per_message_cpu = 250e-9
+
+    def driver_regions(self, n_nodes: int, ranks_per_node: int) -> list[DriverRegionSpec]:
+        # The paper (§3.2.2) observes driver shared-memory regions growing
+        # from 2 MB at 2 nodes to 40 MB at 64 nodes — ~0.625 MB per node.
+        """Lower-half memory this fabric's driver maps at MPI init."""
+        shmem = max(2 * MB, int(0.625 * MB * n_nodes))
+        return [
+            DriverRegionSpec(RegionKind.DRIVER, "aries-gni-mmio", 4 * MB),
+            DriverRegionSpec(RegionKind.SHMEM, "aries-shmem", shmem),
+            DriverRegionSpec(RegionKind.PINNED, "aries-pinned-dma", 8 * MB),
+        ]
+
+
+class InfinibandInterconnect(Interconnect):
+    """Mellanox FDR InfiniBand (verbs), as on the authors' local cluster."""
+
+    name = "infiniband"
+    alpha = 1.8e-6
+    beta = 6.0e9
+    per_message_cpu = 300e-9
+
+    def driver_regions(self, n_nodes: int, ranks_per_node: int) -> list[DriverRegionSpec]:
+        """Lower-half memory this fabric's driver maps at MPI init."""
+        shmem = max(2 * MB, int(0.5 * MB * n_nodes))
+        return [
+            DriverRegionSpec(RegionKind.DRIVER, "ib-uverbs-mmio", 2 * MB),
+            DriverRegionSpec(RegionKind.SHMEM, "ib-shmem", shmem),
+            DriverRegionSpec(RegionKind.PINNED, "ib-pinned-qp", 16 * MB),
+        ]
+
+
+class OmniPathInterconnect(Interconnect):
+    """Intel Omni-Path (PSM2) — the fabric DMTCP only partially supported
+    (§1's third case study); here it is just another lower half."""
+
+    name = "omnipath"
+    alpha = 1.1e-6
+    beta = 12.5e9
+    per_message_cpu = 280e-9
+
+    def driver_regions(self, n_nodes: int, ranks_per_node: int) -> list[DriverRegionSpec]:
+        """Lower-half memory this fabric's driver maps at MPI init."""
+        shmem = max(2 * MB, int(0.55 * MB * n_nodes))
+        return [
+            DriverRegionSpec(RegionKind.DRIVER, "opa-psm2-mmio", 3 * MB),
+            DriverRegionSpec(RegionKind.SHMEM, "opa-shmem", shmem),
+            DriverRegionSpec(RegionKind.PINNED, "opa-pinned-eager", 12 * MB),
+        ]
+
+
+class TcpInterconnect(Interconnect):
+    """Plain TCP over 10 GbE — the lowest common denominator fabric."""
+
+    name = "tcp"
+    alpha = 28e-6
+    beta = 1.2e9
+    per_message_cpu = 1.8e-6
+
+    def driver_regions(self, n_nodes: int, ranks_per_node: int) -> list[DriverRegionSpec]:
+        """Lower-half memory this fabric's driver maps at MPI init."""
+        return [DriverRegionSpec(RegionKind.ANON, "tcp-socket-buffers", 4 * MB)]
+
+
+class ShmemTransport(Interconnect):
+    """Intra-node shared-memory transport (System V / CMA style).
+
+    Every MPI implementation uses this for ranks that share a node —
+    which is exactly the BLCR failure mode the paper recounts (BLCR could
+    not checkpoint SysV shared memory).  Under MANA the segments live in
+    the lower half and are simply discarded.
+    """
+
+    name = "shmem"
+    alpha = 0.45e-6
+    beta = 20.0e9
+    per_message_cpu = 120e-9
+
+    def driver_regions(self, n_nodes: int, ranks_per_node: int) -> list[DriverRegionSpec]:
+        # One SysV segment shared by the ranks of a node, sized per peer.
+        """Lower-half memory this fabric's driver maps at MPI init."""
+        return [
+            DriverRegionSpec(
+                RegionKind.SHMEM, "sysv-shm-intranode",
+                max(1, ranks_per_node) * MB,
+            )
+        ]
+
+
+INTERCONNECTS = {
+    cls.name: cls
+    for cls in (AriesInterconnect, InfinibandInterconnect, OmniPathInterconnect, TcpInterconnect, ShmemTransport)
+}
+
+
+def make_interconnect(name: str, engine: Engine) -> Interconnect:
+    """Instantiate a fabric by registry name."""
+    try:
+        cls = INTERCONNECTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown interconnect {name!r}; known: {sorted(INTERCONNECTS)}"
+        ) from None
+    return cls(engine)

@@ -1,0 +1,25 @@
+"""Rank execution: program drivers and the native (non-MANA) job runner.
+
+A :class:`RankDriver` marries one rank's :class:`~repro.mprog.Interpreter`
+to the simulation engine: it executes compute leaves (charging their modeled
+cost at the owning node's speed), issues MPI call leaves through an
+:class:`MpiApi`, and parks while calls are outstanding.  Drivers expose the
+pause/resume hooks MANA's checkpoint helper thread uses to quiesce a rank at
+leaf boundaries.
+
+:class:`NativeJob` runs programs directly against raw MPI endpoints — the
+paper's "native" baseline, with zero interposition overhead.
+"""
+
+from repro.runtime.api import MpiApi, NativeApi
+from repro.runtime.driver import DriverError, RankDriver
+from repro.runtime.native import NativeJob, run_native
+
+__all__ = [
+    "DriverError",
+    "MpiApi",
+    "NativeApi",
+    "NativeJob",
+    "RankDriver",
+    "run_native",
+]

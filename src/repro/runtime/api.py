@@ -1,0 +1,191 @@
+"""The MPI API surface application programs are written against.
+
+Programs call these methods from :class:`~repro.mprog.ast.Call` builders.
+Two implementations exist:
+
+* :class:`NativeApi` — a thin pass-through to the raw
+  :class:`~repro.mpilib.world.MpiEndpoint` (the paper's native baseline);
+* :class:`~repro.mana.wrappers.ManaApi` — MANA's interposition layer, which
+  virtualizes handles, records persistent calls, counts p2p traffic for
+  draining, applies the two-phase collective wrapper, and charges the
+  FS-register switch cost on every call.
+
+Communicator arguments and results are *opaque values*: real
+:class:`Communicator` objects natively, small integer virtual handles under
+MANA.  Programs must treat them as tokens, which keeps one program text
+valid in both modes — and picklable under MANA.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.mpilib.comm import ANY_SOURCE, ANY_TAG, Communicator, Group
+from repro.mpilib.ops import ReduceOp
+from repro.mpilib.world import MpiEndpoint
+from repro.simtime import Completion
+
+
+class MpiApi:
+    """Abstract API; see module docstring.  All methods return Completions
+    except the purely local ones (``rank``/``size``/group algebra/topology
+    queries)."""
+
+    # subclasses define: rank, size, comm_world, and all operations
+
+    def topology(self, comm: Any):
+        """The CartTopology/GraphTopology attached to ``comm`` (or None)."""
+        raise NotImplementedError
+
+
+class NativeApi(MpiApi):
+    """Direct pass-through to a raw endpoint (no interposition)."""
+
+    def __init__(self, endpoint: MpiEndpoint) -> None:
+        self.endpoint = endpoint
+
+    @property
+    def rank(self) -> int:
+        """This rank's index in MPI_COMM_WORLD."""
+        return self.endpoint.rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in MPI_COMM_WORLD."""
+        return self.endpoint.world.size
+
+    @property
+    def comm_world(self) -> Communicator:
+        """The world communicator handle."""
+        return self.endpoint.comm_world
+
+    # ------------------------------------------------------------------ p2p
+
+    def send(self, dest: int, data: Any, tag: int = 0,
+             comm: Optional[Communicator] = None,
+             size: Optional[int] = None) -> Completion:
+        """MPI_Send (blocking; resolves when the buffer is reusable)."""
+        return self.endpoint.send(dest, data, tag=tag, comm=comm, size=size)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+             comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Recv; resolves with (data, Status)."""
+        return self.endpoint.recv(source=source, tag=tag, comm=comm)
+
+    def sendrecv(self, dest: int, data: Any, source: int,
+                 tag: int = 0, comm: Optional[Communicator] = None,
+                 size: Optional[int] = None) -> Completion:
+        """Combined send+recv (halo-exchange workhorse); resolves with the
+        received (data, status)."""
+        self.endpoint.send(dest, data, tag=tag, comm=comm, size=size)
+        return self.endpoint.recv(source=source, tag=tag, comm=comm)
+
+    def exchange(self, sends: list, recvs: list,
+                 comm: Optional[Communicator] = None) -> Completion:
+        """Batched neighbour exchange (isend/irecv + waitall): posts all
+        ``(dest, data, tag, size)`` sends and ``(source, tag)`` receives;
+        resolves with the list of (data, status) results in recvs order."""
+        from repro.simtime.engine import all_of
+
+        for dest, data, tag, size in sends:
+            self.endpoint.isend(dest, data, tag=tag, comm=comm, size=size)
+        outs = [self.endpoint.recv(source=src, tag=tag, comm=comm)
+                for src, tag in recvs]
+        return all_of(self.endpoint.engine, outs, label="native-exchange")
+
+    # ----------------------------------------------------------- collectives
+
+    def barrier(self, comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Barrier."""
+        return self.endpoint.barrier(comm)
+
+    def bcast(self, data: Any, root: int, comm: Optional[Communicator] = None,
+              size: Optional[int] = None) -> Completion:
+        """MPI_Bcast from ``root``."""
+        return self.endpoint.bcast(data, root, comm=comm, size=size)
+
+    def reduce(self, data: Any, op: ReduceOp, root: int,
+               comm: Optional[Communicator] = None,
+               size: Optional[int] = None) -> Completion:
+        """MPI_Reduce to ``root``."""
+        return self.endpoint.reduce(data, op, root, comm=comm, size=size)
+
+    def allreduce(self, data: Any, op: ReduceOp,
+                  comm: Optional[Communicator] = None,
+                  size: Optional[int] = None) -> Completion:
+        """MPI_Allreduce."""
+        return self.endpoint.allreduce(data, op, comm=comm, size=size)
+
+    def gather(self, data: Any, root: int,
+               comm: Optional[Communicator] = None,
+               size: Optional[int] = None) -> Completion:
+        """MPI_Gather to ``root``."""
+        return self.endpoint.gather(data, root, comm=comm, size=size)
+
+    def allgather(self, data: Any, comm: Optional[Communicator] = None,
+                  size: Optional[int] = None) -> Completion:
+        """MPI_Allgather."""
+        return self.endpoint.allgather(data, comm=comm, size=size)
+
+    def scatter(self, chunks: Any, root: int,
+                comm: Optional[Communicator] = None,
+                size: Optional[int] = None) -> Completion:
+        """MPI_Scatter from ``root``."""
+        return self.endpoint.scatter(chunks, root, comm=comm, size=size)
+
+    def alltoall(self, chunks: list, comm: Optional[Communicator] = None,
+                 size: Optional[int] = None) -> Completion:
+        """MPI_Alltoall."""
+        return self.endpoint.alltoall(chunks, comm=comm, size=size)
+
+    def reduce_scatter(self, data: Any, op: ReduceOp,
+                       comm: Optional[Communicator] = None,
+                       size: Optional[int] = None) -> Completion:
+        """MPI_Reduce_scatter (equal blocks)."""
+        return self.endpoint.reduce_scatter(data, op, comm=comm, size=size)
+
+    def scan(self, data: Any, op: ReduceOp,
+             comm: Optional[Communicator] = None,
+             size: Optional[int] = None) -> Completion:
+        """MPI_Scan (inclusive prefix reduction)."""
+        return self.endpoint.scan(data, op, comm=comm, size=size)
+
+    # --------------------------------------------------------- communicators
+
+    def comm_dup(self, comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Comm_dup (collective)."""
+        return self.endpoint.comm_dup(comm)
+
+    def comm_split(self, color: int, key: int,
+                   comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Comm_split (collective); resolves with the new communicator or None."""
+        return self.endpoint.comm_split(color, key, comm=comm)
+
+    def comm_create(self, group: Group,
+                    comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Comm_create over a group (collective)."""
+        return self.endpoint.comm_create(group, comm=comm)
+
+    def cart_create(self, dims: list[int], periods: list[bool],
+                    comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Cart_create (collective); the result carries a CartTopology."""
+        return self.endpoint.cart_create(dims, periods, comm=comm)
+
+    def graph_create(self, edges: list,
+                     comm: Optional[Communicator] = None) -> Completion:
+        """MPI_Graph_create (collective)."""
+        return self.endpoint.graph_create(edges, comm=comm)
+
+    # ------------------------------------------------------------- local ops
+
+    def comm_size(self, comm: Any) -> int:
+        """MPI_Comm_size."""
+        return (comm or self.comm_world).size
+
+    def comm_rank(self, comm: Any) -> Optional[int]:
+        """MPI_Comm_rank (None for non-members)."""
+        return (comm or self.comm_world).rank_of_world(self.rank)
+
+    def topology(self, comm: Any):
+        """The topology attached to a communicator, if any."""
+        return (comm or self.comm_world).topology

@@ -1,0 +1,98 @@
+"""Native job runner: programs on raw MPI, no MANA, no interposition.
+
+This is the paper's baseline configuration.  Figures 2 and 3 are ratios of
+MANA-run wall time to the wall time produced here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.hardware.cluster import Cluster
+from repro.mpilib.launcher import launch
+from repro.mpilib.world import MpiWorld
+from repro.mprog.ast import Program
+from repro.mprog.interp import Interpreter, ProgramState
+from repro.runtime.api import NativeApi
+from repro.runtime.driver import RankDriver
+from repro.simtime import Engine
+from repro.simtime.engine import all_of
+
+
+class NativeJob:
+    """An MPI job running programs directly on endpoints."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        world: MpiWorld,
+        programs: list[Program],
+        states: Optional[list[ProgramState]] = None,
+    ) -> None:
+        if len(programs) != world.size:
+            raise ValueError(
+                f"{len(programs)} programs for a world of {world.size} ranks"
+            )
+        self.engine = engine
+        self.world = world
+        self.drivers: list[RankDriver] = []
+        for rank, program in enumerate(programs):
+            state = states[rank] if states else ProgramState()
+            state.setdefault("rank", rank)
+            state.setdefault("size", world.size)
+            node = world.cluster.node(world.node_of(rank))
+            driver = RankDriver(
+                engine,
+                Interpreter(program, state),
+                NativeApi(world.endpoints[rank]),
+                core_speed=node.core_speed,
+                label=f"native-r{rank}",
+            )
+            self.drivers.append(driver)
+        self.finished = all_of(
+            engine, [d.finished for d in self.drivers], label="native-job"
+        )
+
+    def start(self) -> "NativeJob":
+        """Begin execution (schedules the first event)."""
+        for d in self.drivers:
+            d.start()
+        return self
+
+    def run_to_completion(self) -> float:
+        """Start (if needed), run the engine until every rank finishes, and
+        return the job's wall time (excluding whatever preceded start)."""
+        t0 = self.engine.now
+        if not any(d._started for d in self.drivers):
+            self.start()
+        self.engine.run()
+        if not self.finished.done:
+            raise RuntimeError(
+                "native job did not finish: "
+                + ", ".join(f"{d.label}@{d.parked_at}" for d in self.drivers
+                            if d.parked_at != "finished")
+            )
+        return self.engine.now - t0
+
+    @property
+    def states(self) -> list[ProgramState]:
+        """Each rank's live ProgramState, by rank."""
+        return [d.interp.state for d in self.drivers]
+
+
+def run_native(
+    cluster: Cluster,
+    program_factory: Callable[[int, int], Program],
+    n_ranks: int,
+    ranks_per_node: Optional[int] = None,
+    mpi: Optional[str] = None,
+    engine: Optional[Engine] = None,
+) -> NativeJob:
+    """Launch and run a native job; ``program_factory(rank, size)`` builds
+    each rank's program.  Returns the finished job (inspect ``states``)."""
+    engine = engine if engine is not None else Engine()
+    world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node, mpi=mpi)
+    programs = [program_factory(r, n_ranks) for r in range(n_ranks)]
+    job = NativeJob(engine, world, programs)
+    job.run_to_completion()
+    return job

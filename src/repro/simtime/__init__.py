@@ -1,0 +1,28 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in the repository runs on this kernel: simulated MPI ranks,
+interconnect message delivery, the checkpoint coordinator's control plane,
+and the Lustre storage model all advance a single virtual clock owned by an
+:class:`Engine`.  The kernel is deliberately tiny — an ordered event queue, a
+future type (:class:`Completion`) for asynchronous operations, and seeded RNG
+streams — so that every higher layer is easy to reason about and every run is
+bit-for-bit reproducible from its seed.
+"""
+
+from repro.simtime.engine import (
+    Completion,
+    DeadlockError,
+    Engine,
+    EventHandle,
+    SimulationError,
+)
+from repro.simtime.rng import RngStreams
+
+__all__ = [
+    "Completion",
+    "DeadlockError",
+    "Engine",
+    "EventHandle",
+    "RngStreams",
+    "SimulationError",
+]

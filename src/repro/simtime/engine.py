@@ -1,0 +1,267 @@
+"""The discrete-event engine: virtual clock, event queue, completions.
+
+Design notes
+------------
+
+* Events are ordered by ``(time, priority, sequence)``.  The monotonically
+  increasing sequence number makes ordering total and therefore the whole
+  simulation deterministic: two events scheduled for the same instant fire in
+  scheduling order.
+* There is no thread anywhere in the kernel.  "Processes" in higher layers
+  are callback state machines (MPI internals) or interpreters
+  (:mod:`repro.mprog`) that re-arm themselves through :meth:`Engine.call_at`
+  / :meth:`Engine.call_after` or through :class:`Completion` callbacks.
+* A :class:`Completion` is a single-assignment future.  MPI operations return
+  one; the rank driver chains on it to resume the application program.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the engine is asked to make progress but no event is
+    pending while some completion is still being awaited."""
+
+
+@dataclass(frozen=True)
+class EventHandle:
+    """Opaque handle returned by :meth:`Engine.call_at`; used to cancel."""
+
+    time: float
+    seq: int
+    _entry: list = field(repr=False, compare=False)
+
+    def cancel(self) -> None:
+        """Cancel the event if it has not fired yet (idempotent)."""
+        self._entry[-1] = None
+
+    @property
+    def cancelled(self) -> bool:
+        """True if cancelled before firing."""
+        return self._entry[-1] is None
+
+
+class Engine:
+    """A deterministic discrete-event engine with a virtual clock.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock, in simulated seconds.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[list] = []
+        self._seq = itertools.count()
+        self._pending_watchers = 0
+        self.trace: Optional[list[tuple[float, str]]] = None
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in simulated seconds."""
+        return self._now
+
+    # ------------------------------------------------------------- scheduling
+
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``when``.
+
+        ``when`` may equal :attr:`now` (the event fires before the engine
+        next advances time) but may not lie in the past.
+        """
+        if math.isnan(when):
+            raise SimulationError("cannot schedule event at NaN time")
+        if when < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule event in the past: {when} < now={self._now}"
+            )
+        seq = next(self._seq)
+        entry = [max(when, self._now), priority, seq, label, (fn, args)]
+        heapq.heappush(self._queue, entry)
+        return EventHandle(time=entry[0], seq=seq, _entry=entry)
+
+    def call_after(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn, *args, priority=priority, label=label)
+
+    # ------------------------------------------------------------- execution
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns False if the queue is empty."""
+        while self._queue:
+            when, _prio, _seq, label, payload = heapq.heappop(self._queue)
+            if payload is None:  # cancelled
+                continue
+            self._now = when
+            if self.trace is not None:
+                self.trace.append((when, label))
+            fn, args = payload
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: float = math.inf, max_events: int = 100_000_000) -> float:
+        """Run events until the queue drains or the clock passes ``until``.
+
+        Returns the virtual time at which execution stopped.  Events scheduled
+        exactly at ``until`` are executed.
+        """
+        fired = 0
+        while self._queue:
+            when = self._peek_time()
+            if when is None:
+                break
+            if when > until:
+                self._now = until
+                return self._now
+            if not self.step():
+                break
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+        return self._now
+
+    def _peek_time(self) -> Optional[float]:
+        while self._queue:
+            entry = self._queue[0]
+            if entry[-1] is None:
+                heapq.heappop(self._queue)
+                continue
+            return entry[0]
+        return None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return sum(1 for e in self._queue if e[-1] is not None)
+
+
+class Completion:
+    """A single-assignment future living on an :class:`Engine`.
+
+    MPI operations and other asynchronous simulation activities return a
+    ``Completion``; consumers register callbacks with :meth:`on_done`.
+    Callbacks added after completion fire immediately (synchronously), which
+    keeps rank drivers simple and avoids an extra zero-delay event.
+    """
+
+    __slots__ = ("engine", "label", "_done", "_cancelled", "_value", "_callbacks")
+
+    def __init__(self, engine: Engine, label: str = "") -> None:
+        self.engine = engine
+        self.label = label
+        self._done = False
+        self._cancelled = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """True once the underlying completion resolved."""
+        return self._done
+
+    @property
+    def cancelled(self) -> bool:
+        """True if cancelled before firing."""
+        return self._cancelled
+
+    @property
+    def value(self) -> Any:
+        """The resolved value; raises if not yet done."""
+        if not self._done:
+            raise SimulationError(f"completion {self.label!r} not done")
+        return self._value
+
+    def resolve(self, value: Any = None) -> None:
+        """Mark done and fire callbacks in registration order."""
+        if self._cancelled:
+            return
+        if self._done:
+            raise SimulationError(f"completion {self.label!r} resolved twice")
+        self._done = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def resolve_at(self, when: float, value: Any = None) -> None:
+        """Schedule resolution at absolute virtual time ``when``."""
+        self.engine.call_at(when, self.resolve, value, label=f"resolve:{self.label}")
+
+    def resolve_after(self, delay: float, value: Any = None) -> None:
+        """Schedule resolution ``delay`` seconds from now."""
+        self.engine.call_after(delay, self.resolve, value, label=f"resolve:{self.label}")
+
+    def cancel(self) -> None:
+        """Cancel: callbacks are dropped and resolution becomes a no-op.
+
+        Used when a checkpoint discards the lower half while a rank is blocked
+        inside a trivial barrier — the in-flight lower-half operation simply
+        ceases to exist.
+        """
+        self._cancelled = True
+        self._callbacks = []
+
+    def on_done(self, cb: Callable[[Any], None]) -> None:
+        """Register ``cb(value)``; fires immediately if already done."""
+        if self._cancelled:
+            return
+        if self._done:
+            cb(self._value)
+        else:
+            self._callbacks.append(cb)
+
+
+def all_of(engine: Engine, completions: list[Completion], label: str = "all") -> Completion:
+    """Completion that resolves (with the list of values) when all inputs do."""
+    out = Completion(engine, label=label)
+    remaining = len(completions)
+    if remaining == 0:
+        out.resolve([])
+        return out
+    values: list[Any] = [None] * remaining
+
+    def make_cb(i: int) -> Callable[[Any], None]:
+        def cb(value: Any) -> None:
+            nonlocal remaining
+            values[i] = value
+            remaining -= 1
+            if remaining == 0:
+                out.resolve(values)
+
+        return cb
+
+    for i, c in enumerate(completions):
+        c.on_done(make_cb(i))
+    return out

@@ -1,0 +1,56 @@
+"""Golden determinism regression: pinned per-app checksums.
+
+These values were produced by the deterministic simulation at a fixed
+configuration; any change to application numerics, the RNG streams, message
+matching, or reduction ordering shows up here first.  If a change is
+*intentional* (e.g. an app kernel edit), regenerate with:
+
+    python -c "from tests.apps.test_golden_checksums import regenerate; regenerate()"
+"""
+
+import pytest
+
+from repro.apps import APP_REGISTRY, get_app
+from repro.hardware.cluster import cori
+from repro.runtime.native import run_native
+
+CONFIG = dict(n_ranks=8, n_steps=4)
+
+#: app -> rank-0 checksum under CONFIG (8 ranks where the geometry allows,
+#: LULESH drops to its nearest cube, which is also 8)
+GOLDEN = {
+    "clamr": 1175.133694546227,
+    "gromacs": 178.2975651501,
+    "hpcg": 211.37589965079457,
+    "lulesh": 0.09998036466099999,
+    "minife": 507.0721075247329,
+    "npbft": 499.76902151,
+}
+
+
+def _checksum(name):
+    spec = get_app(name)
+    cfg = spec.default_config.scaled(n_steps=CONFIG["n_steps"])
+    n = spec.valid_ranks(CONFIG["n_ranks"])
+    job = run_native(cori(1), spec.build(cfg), n_ranks=n, ranks_per_node=n)
+    return job.states[0]["checksum"]
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_checksum(name):
+    assert _checksum(name) == pytest.approx(GOLDEN[name], rel=0, abs=0), \
+        f"{name}: numerics changed — regenerate GOLDEN if intentional"
+
+
+def test_golden_covers_every_registered_app():
+    assert sorted(GOLDEN) == sorted(APP_REGISTRY)
+
+
+def regenerate():
+    """Print a fresh GOLDEN table."""
+    for name in sorted(APP_REGISTRY):
+        print(f'    "{name}": {_checksum(name)!r},')
+
+
+if __name__ == "__main__":
+    regenerate()

@@ -1,0 +1,80 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.harness.ascii_plot import bar_chart, line_chart, table_to_line_chart
+from repro.harness.results import Series, Table
+
+
+class TestLineChart:
+    def test_renders_marks_and_legend(self):
+        s1 = Series("native", [1, 2, 3], [10.0, 20.0, 30.0])
+        s2 = Series("mana", [1, 2, 3], [12.0, 22.0, 33.0])
+        out = line_chart([s1, s2], width=40, height=8, title="Latency")
+        assert "Latency" in out
+        assert "o native" in out
+        assert "x mana" in out
+        assert "o" in out and "x" in out
+
+    def test_monotone_series_fills_diagonal(self):
+        s = Series("s", list(range(10)), list(range(10)))
+        out = line_chart([s], width=20, height=10)
+        rows = [l for l in out.splitlines() if "|" in l]
+        first_mark_rows = [i for i, r in enumerate(rows) if "o" in r]
+        assert first_mark_rows == sorted(first_mark_rows)
+        # highest y lands on the top canvas row, lowest on the bottom
+        assert "o" in rows[0]
+        assert "o" in rows[-2]  # last canvas row before the axis
+
+    def test_log_x(self):
+        s = Series("bw", [8, 1 << 10, 1 << 20], [1.0, 100.0, 10000.0])
+        out = line_chart([s], log_x=True)
+        assert "8" in out
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            line_chart([Series("s", [0, 1], [1, 2])], log_x=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+
+    def test_axis_labels_show_range(self):
+        s = Series("s", [1, 100], [5.0, 50.0])
+        out = line_chart([s])
+        assert "50" in out
+        assert "5" in out
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        out = bar_chart(["a", "b"], [1.0, 2.0], width=20)
+        line_a, line_b = out.splitlines()
+        assert line_b.count("#") == 20
+        assert abs(line_a.count("#") - 10) <= 1
+
+    def test_baseline_tick(self):
+        out = bar_chart(["x"], [4.0], width=20, baseline=8.0)
+        assert "|" in out
+
+    def test_unit_suffix(self):
+        out = bar_chart(["x"], [3.5], unit=" s")
+        assert "3.5 s" in out
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+
+def test_table_to_line_chart():
+    t = Table("Fig", ["bench", "size", "us"])
+    t.add("native", 8, 1.0)
+    t.add("native", 64, 2.0)
+    t.add("mana", 8, 1.5)
+    t.add("mana", 64, 2.5)
+    out = table_to_line_chart(t, x_col="size", y_col="us",
+                              series_col="bench", log_x=True)
+    assert "native" in out and "mana" in out
+    assert "Fig" in out

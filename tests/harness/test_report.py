@@ -1,0 +1,43 @@
+"""The report generator module (wiring only; figures have their own tests)."""
+
+import pathlib
+
+import pytest
+
+import repro.harness.report as report_mod
+from repro.harness.results import Table
+
+
+def test_runner_registry_covers_every_figure():
+    names = [name for name, _fn in report_mod.RUNNERS]
+    assert names == ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                     "fig8", "fig9", "mem", "modelcheck"]
+
+
+def test_modelcheck_table_shape():
+    table = report_mod.modelcheck_table()
+    assert table.columns == ["model", "ranks", "collectives", "states",
+                             "verdict"]
+    verdicts = table.column("verdict")
+    assert all("verified" in v for v in verdicts[:-1])
+    assert "violation found" in verdicts[-1]
+
+
+def test_main_writes_file(tmp_path, monkeypatch):
+    fake = Table("Fake figure", ["a"])
+    fake.add(1)
+    monkeypatch.setattr(report_mod, "RUNNERS", [("fake", lambda: fake)])
+    out = tmp_path / "report.md"
+    report_mod.main(["report", str(out)])
+    text = out.read_text()
+    assert "Fake figure" in text
+    assert "generated in" in text
+
+
+def test_main_prints_to_stdout(capsys, monkeypatch):
+    fake = Table("Fake figure", ["a"])
+    fake.add(2)
+    monkeypatch.setattr(report_mod, "RUNNERS", [("fake", lambda: fake)])
+    report_mod.main(["report"])
+    captured = capsys.readouterr()
+    assert "Fake figure" in captured.out

@@ -1,0 +1,55 @@
+"""Result containers and rendering."""
+
+import pytest
+
+from repro.harness.results import Series, Table, render_table
+
+
+class TestSeries:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1, 2], [1])
+
+    def test_as_rows(self):
+        s = Series("s", [1, 2], [10, 20])
+        assert s.as_rows() == [(1, 10), (2, 20)]
+
+
+class TestTable:
+    def test_add_and_column(self):
+        t = Table("t", ["a", "b"])
+        t.add(1, 2)
+        t.add(3, 4)
+        assert t.column("b") == [2, 4]
+
+    def test_wrong_arity_rejected(self):
+        t = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_render_contains_everything(self):
+        t = Table("My Figure", ["app", "pct"])
+        t.add("gromacs", 97.9)
+        t.notes.append("paper: blah")
+        out = render_table(t)
+        assert "My Figure" in out
+        assert "gromacs" in out
+        assert "97.9" in out
+        assert "paper: blah" in out
+
+    def test_render_formats_floats(self):
+        t = Table("t", ["v"])
+        t.add(0.000123)
+        t.add(123456.0)
+        t.add(0)
+        out = render_table(t)
+        assert "0.000123" in out
+        assert "1.23e+05" in out
+
+    def test_str_is_render(self):
+        t = Table("t", ["v"])
+        t.add(1)
+        assert str(t) == render_table(t)
+
+    def test_empty_table_renders(self):
+        assert "t" in render_table(Table("t", ["a"]))

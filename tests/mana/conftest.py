@@ -1,0 +1,97 @@
+"""Shared MANA test fixtures: small deterministic MPI applications."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana
+from repro.mpilib import SUM
+from repro.mprog import Call, Compute, Loop, Program, Seq
+
+
+# ---------------------------------------------------------------- programs
+# All state-mutating callables are module-level so programs behave like
+# on-disk binaries: available identically before and after restart.
+
+def _ar_init(s):
+    s["x"] = np.array([float(s["rank"] + 1)])
+    s["hist"] = []
+
+
+def _ar_call(s, api):
+    return api.allreduce(s["x"], SUM)
+
+
+def _ar_absorb(s):
+    s["hist"].append(float(s["sum"][0]))
+    s["x"] = s["x"] + 1.0
+
+
+def allreduce_factory(n_iters=5, cost=0.5):
+    def factory(rank, size):
+        return Program(Seq(
+            Compute(_ar_init),
+            Loop(n_iters, Seq(
+                Call(_ar_call, store="sum"),
+                Compute(_ar_absorb, cost=cost),
+            )),
+        ), name="allreduce-app")
+
+    return factory
+
+
+def _ring_init(s):
+    s["val"] = float(s["rank"])
+    s["acc"] = float(s["rank"])
+
+
+def _ring_send(s, api):
+    return api.send((s["rank"] + 1) % s["size"], np.array([s["val"]]), tag=7)
+
+
+def _ring_recv(s, api):
+    return api.recv(source=(s["rank"] - 1) % s["size"], tag=7)
+
+
+def _ring_absorb(s):
+    data, _status = s["got"]
+    s["val"] = float(data[0])
+    s["acc"] += s["val"]
+
+
+def ring_factory(n_steps=4, cost=0.2):
+    """p2p ring: exercises draining (messages in flight at checkpoint)."""
+
+    def factory(rank, size):
+        return Program(Seq(
+            Compute(_ring_init),
+            Loop(n_steps, Seq(
+                Call(_ring_send),
+                Compute(lambda s: None, cost=cost, label="work"),
+                Call(_ring_recv, store="got"),
+                Compute(_ring_absorb),
+            )),
+        ), name="ring-app")
+
+    return factory
+
+
+def expected_ring_acc(rank, size, n_steps):
+    return rank + sum((rank - k) % size for k in range(1, n_steps + 1))
+
+
+@pytest.fixture
+def small_cluster():
+    return make_cluster("src", 2, interconnect="aries", default_mpi="craympich")
+
+
+@pytest.fixture
+def target_cluster():
+    return make_cluster("dst", 4, interconnect="tcp", default_mpi="mpich")
+
+
+def launch_small(cluster, factory, n_ranks=4, **kw):
+    job = launch_mana(cluster, factory, n_ranks=n_ranks,
+                      ranks_per_node=max(1, n_ranks // cluster.node_count), **kw)
+    job.start()
+    return job

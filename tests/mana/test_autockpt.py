@@ -1,0 +1,105 @@
+"""Periodic checkpointing loop + Young/Daly interval."""
+
+import math
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import load_checkpoint, restart
+from repro.mana.autockpt import (
+    PeriodicRun,
+    run_with_periodic_checkpoints,
+    young_daly_interval,
+)
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("auto", 2, interconnect="aries")
+
+
+def test_young_daly():
+    assert young_daly_interval(3600.0, 30.0) == pytest.approx(
+        math.sqrt(2 * 30 * 3600)
+    )
+    with pytest.raises(ValueError):
+        young_daly_interval(0, 1)
+
+
+def test_periodic_checkpoints_taken(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=10))
+    run = run_with_periodic_checkpoints(job, interval=1.4)
+    assert run.completed
+    assert len(run.reports) >= 2
+    assert run.checkpoint_overhead > 0
+    assert all(len(s["hist"]) == 10 for s in job.states)
+
+
+def test_max_checkpoints_cap(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=10))
+    run = run_with_periodic_checkpoints(job, interval=0.8, max_checkpoints=2)
+    assert run.completed
+    assert len(run.reports) == 2
+
+
+def test_save_and_prune(cluster, tmp_path):
+    job = launch_small(cluster, allreduce_factory(n_iters=10))
+    run = run_with_periodic_checkpoints(job, interval=1.0,
+                                        out_dir=tmp_path, keep=2)
+    assert run.completed
+    assert len(run.saved_dirs) <= 2
+    remaining = sorted(p.name for p in tmp_path.iterdir())
+    assert remaining == sorted(p.name for p in run.saved_dirs)
+    assert run.latest_dir is not None
+
+
+def test_recover_from_latest(cluster, tmp_path):
+    factory = allreduce_factory(n_iters=10)
+    baseline = launch_small(cluster, factory)
+    baseline.run_to_completion()
+
+    job = launch_small(cluster, factory)
+    run = run_with_periodic_checkpoints(job, interval=1.2, out_dir=tmp_path)
+    ckpt = load_checkpoint(run.latest_dir)
+    recovered = restart(ckpt, cluster, factory, ranks_per_node=2)
+    recovered.run_to_completion()
+    assert [s["hist"] for s in recovered.states] == \
+        [s["hist"] for s in baseline.states]
+
+
+def test_bad_args(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=2))
+    with pytest.raises(ValueError):
+        run_with_periodic_checkpoints(job, interval=0)
+    with pytest.raises(ValueError):
+        run_with_periodic_checkpoints(job, interval=1, keep=0)
+    job.run_to_completion()
+
+
+def test_no_checkpoint_if_job_finishes_first(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=2))
+    run = run_with_periodic_checkpoints(job, interval=1e6)
+    assert run.completed
+    assert run.reports == []
+
+
+def test_until_deadline_interrupts(cluster, tmp_path):
+    """Injected failure: the loop stops at the deadline with completed=False
+    and the saved checkpoints recover the run."""
+    factory = allreduce_factory(n_iters=10)
+    job = launch_small(cluster, factory)
+    run = run_with_periodic_checkpoints(job, interval=1.0, out_dir=tmp_path,
+                                        until=2.6)
+    assert not run.completed
+    assert len(run.reports) >= 1
+    assert job.engine.now <= 2.6 + 1e-9
+
+    baseline = launch_small(cluster, factory)
+    baseline.run_to_completion()
+    recovered = restart(load_checkpoint(run.latest_dir), cluster, factory,
+                        ranks_per_node=2)
+    recovered.run_to_completion()
+    assert [s["hist"] for s in recovered.states] == \
+        [s["hist"] for s in baseline.states]

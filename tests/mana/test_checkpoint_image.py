@@ -1,0 +1,72 @@
+"""Checkpoint image construction and the upper-half-only invariant."""
+
+import numpy as np
+import pytest
+
+from repro.mana.checkpoint_image import (
+    CheckpointError,
+    CheckpointImage,
+    CheckpointSet,
+)
+from repro.memory.region import Half, MemoryRegion, Perm, RegionKind
+
+
+def upper_region(name="r", size=4096, ephemeral=False):
+    return MemoryRegion(start=0x1000, size=size, perm=Perm.RW,
+                        half=Half.UPPER, kind=RegionKind.DATA, name=name,
+                        ephemeral=ephemeral)
+
+
+def test_capture_and_restore_round_trip():
+    state = {"arr": np.arange(5.0), "counter": 42}
+    img = CheckpointImage.capture(0, [upper_region(size=1 << 20)], state, 12.5)
+    assert img.size_bytes == 1 << 20
+    restored = img.restore_state()
+    assert np.array_equal(restored["arr"], np.arange(5.0))
+    assert restored["counter"] == 42
+    assert img.taken_at == 12.5
+
+
+def test_lower_half_region_rejected():
+    bad = MemoryRegion(start=0, size=4096, perm=Perm.RW, half=Half.LOWER,
+                       kind=RegionKind.TEXT, name="libmpi")
+    with pytest.raises(CheckpointError, match="lower-half"):
+        CheckpointImage.capture(0, [bad], {}, 0.0)
+
+
+def test_ephemeral_region_rejected():
+    with pytest.raises(CheckpointError, match="ephemeral"):
+        CheckpointImage.capture(0, [upper_region(ephemeral=True)], {}, 0.0)
+
+
+def test_size_is_sum_of_regions():
+    regions = [upper_region("a", 4096), upper_region("b", 8192)]
+    img = CheckpointImage.capture(1, regions, {}, 0.0)
+    assert img.size_bytes == 4096 + 8192
+    assert [d.name for d in img.regions] == ["a", "b"]
+
+
+def test_payload_is_independent_of_source_state():
+    state = {"arr": np.zeros(3)}
+    img = CheckpointImage.capture(0, [upper_region()], state, 0.0)
+    state["arr"][0] = 99.0
+    assert img.restore_state()["arr"][0] == 0.0
+
+
+class TestCheckpointSet:
+    def _img(self, rank):
+        return CheckpointImage.capture(rank, [upper_region(size=4096)], {}, 0.0)
+
+    def test_ranks_must_be_dense_and_ordered(self):
+        with pytest.raises(CheckpointError):
+            CheckpointSet(images=[self._img(1), self._img(0)])
+        with pytest.raises(CheckpointError):
+            CheckpointSet(images=[self._img(0), self._img(2)])
+
+    def test_accessors(self):
+        cs = CheckpointSet(images=[self._img(0), self._img(1)])
+        assert cs.n_ranks == 2
+        assert cs.total_bytes == 8192
+        assert cs.image_for(1).rank == 1
+        with pytest.raises(CheckpointError):
+            cs.image_for(2)

@@ -1,0 +1,138 @@
+"""Coordinator edge cases and failure-injection workflows."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+from repro.mana.coordinator import ControlPlaneModel
+from repro.mana.protocol import CkptMsg
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("edge", 2, interconnect="aries")
+
+
+def test_concurrent_checkpoint_requests_rejected(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=6))
+    job.coordinator.request_checkpoint()
+    with pytest.raises(RuntimeError, match="already in progress"):
+        job.coordinator.request_checkpoint()
+    job.run_to_completion()
+
+
+def test_sequential_checkpoints_allowed(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=8))
+    job.checkpoint_at(0.6)
+    job.checkpoint_at(1.8)
+    assert job.coordinator.checkpoints_taken == 2
+    job.run_to_completion()
+
+
+def test_unexpected_reply_kind_raises(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=4))
+    coord = job.coordinator
+    coord._start_phase("collect-states", CkptMsg.STATE_REPLY)
+    with pytest.raises(RuntimeError, match="expected"):
+        coord._on_reply(0, CkptMsg.DRAINED, 123)
+
+
+def test_duplicate_reply_raises(cluster):
+    from repro.mana.protocol import RankCkptState
+
+    job = launch_small(cluster, allreduce_factory(n_iters=4))
+    coord = job.coordinator
+    coord._start_phase("collect-states", CkptMsg.STATE_REPLY)
+    coord._on_reply(0, CkptMsg.STATE_REPLY, RankCkptState.READY)
+    with pytest.raises(RuntimeError, match="duplicate"):
+        coord._on_reply(0, CkptMsg.STATE_REPLY, RankCkptState.READY)
+
+
+def test_revision_outside_round_raises(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=4))
+    coord = job.coordinator
+    coord._start_phase("bookmarks", CkptMsg.BOOKMARKS)
+    with pytest.raises(RuntimeError, match="revision"):
+        coord._on_reply(1, CkptMsg.REVISE_IN_PHASE_1, None)
+
+
+def test_control_plane_cost_scales_with_ranks():
+    """Fig. 8's comm-overhead growth: broadcast fan-out is serialized at
+    the coordinator."""
+    model = ControlPlaneModel()
+    assert model.fanout_delay(2047) > 100 * model.fanout_delay(7)
+
+
+def test_slow_control_plane_slows_protocol_not_results(cluster):
+    fast = launch_small(cluster, allreduce_factory(n_iters=6))
+    _, fast_report = fast.checkpoint_at(0.6)
+    fast.run_to_completion()
+
+    slow = launch_mana_with_control(
+        cluster, ControlPlaneModel(latency=5e-3, per_message_cpu=2e-3)
+    )
+    _, slow_report = slow.checkpoint_at(0.6)
+    slow.run_to_completion()
+
+    assert slow_report.comm_overhead > fast_report.comm_overhead
+    assert [s["hist"] for s in slow.states] == [s["hist"] for s in fast.states]
+
+
+def launch_mana_with_control(cluster, control):
+    job = launch_mana(cluster, allreduce_factory(n_iters=6), n_ranks=4,
+                      ranks_per_node=2, control=control)
+    return job.start()
+
+
+class TestFailureRecoveryWorkflow:
+    """The operational pattern MANA enables: periodic checkpoints, node
+    failure, restore the whole computation from the last checkpoint
+    (coordinated checkpointing restores everything — §4.1)."""
+
+    def test_periodic_checkpoint_then_recover(self, cluster):
+        factory = allreduce_factory(n_iters=10)
+        baseline = launch_small(cluster, factory)
+        baseline.run_to_completion()
+        expected = [s["hist"] for s in baseline.states]
+
+        job = launch_small(cluster, factory)
+        checkpoints = []
+        for t in (0.8, 2.0, 3.2):
+            ckpt, _ = job.checkpoint_at(t)
+            checkpoints.append(ckpt)
+        # DISASTER at t=3.9: a node dies.  The world is lost; the last
+        # checkpoint is all that survives (on Lustre).
+        job.run_until(3.9)
+        survivor = checkpoints[-1]
+        del job  # the crashed world
+
+        # Recover on whatever hardware is available now.
+        spare = make_cluster("spare", 4, interconnect="tcp",
+                             default_mpi="mpich")
+        recovered = restart(survivor, spare, factory, ranks_per_node=1)
+        recovered.run_to_completion()
+        assert [s["hist"] for s in recovered.states] == expected
+
+    def test_recovery_loses_only_post_checkpoint_work(self, cluster):
+        factory = allreduce_factory(n_iters=10)
+        job = launch_small(cluster, factory)
+        ckpt, _ = job.checkpoint_at(2.0)
+        progress_at_ckpt = len(
+            ckpt.image_for(0).restore_state()["app_state"]["hist"]
+        )
+        # the computation had advanced past the checkpoint before the crash
+        job.run_until(4.0)
+        progress_at_crash = len(job.states[0]["hist"])
+        assert progress_at_crash > progress_at_ckpt
+
+        recovered = restart(ckpt, cluster, factory, ranks_per_node=2)
+        # step the engine until the restore completes (init + read + replay)
+        while recovered.restart_report is None:
+            assert recovered.engine.step(), "restore stalled"
+        # recovery resumes from the checkpoint, not the crash point
+        assert len(recovered.states[0]["hist"]) == progress_at_ckpt
+        recovered.run_to_completion()
+        assert len(recovered.states[0]["hist"]) == 10

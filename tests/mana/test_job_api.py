@@ -1,0 +1,106 @@
+"""ManaJob surface: metadata, run control, restart determinism."""
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("jobapi", 2, interconnect="aries")
+
+
+def test_checkpoint_meta_records_provenance(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=4))
+    ckpt, _ = job.checkpoint_at(0.6)
+    assert ckpt.meta["source_cluster"] == "jobapi"
+    assert ckpt.meta["source_mpi"] == job.world.impl.name
+    assert ckpt.meta["n_ranks"] == 4
+    assert ckpt.meta["taken_at"] > 0
+
+
+def test_restart_meta_marks_restarted(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=4))
+    ckpt, _ = job.checkpoint_at(0.6)
+    job2 = restart(ckpt, cluster, allreduce_factory(n_iters=4),
+                   ranks_per_node=2)
+    assert job2.meta["restarted"] is True
+    job2.run_to_completion()
+
+
+def test_run_until_is_bounded(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=8))
+    t = job.run_until(1.0)
+    assert t == pytest.approx(1.0)
+    assert not job.finished.done
+
+
+def test_states_accessible_midrun(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=8))
+    job.run_until(1.2)
+    partial = [len(s.get("hist", [])) for s in job.states]
+    assert any(0 < p < 8 for p in partial)
+
+
+def test_restart_is_deterministic(cluster):
+    factory = allreduce_factory(n_iters=6)
+    job = launch_small(cluster, factory)
+    ckpt, _ = job.checkpoint_at(1.0)
+
+    def run_restart():
+        j = restart(ckpt, cluster, factory, ranks_per_node=2, seed=3)
+        j.run_to_completion()
+        return [s["hist"] for s in j.states], j.engine.now
+
+    r1, t1 = run_restart()
+    r2, t2 = run_restart()
+    assert r1 == r2
+    assert t1 == t2
+
+
+def test_straggler_seed_changes_timing_not_results(cluster):
+    factory = allreduce_factory(n_iters=6)
+
+    def run(seed):
+        job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2,
+                          seed=seed).start()
+        _, report = job.checkpoint_at(1.0)
+        job.run_to_completion()
+        return report.write_time, [s["hist"] for s in job.states]
+
+    w1, res1 = run(1)
+    w2, res2 = run(2)
+    assert res1 == res2
+    assert w1 != w2  # different straggler draws
+
+
+def test_stragglers_disabled_gives_clean_write_times(cluster):
+    factory = allreduce_factory(n_iters=6)
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2,
+                      stragglers=False, app_mem_bytes=64 << 20).start()
+    _, report = job.checkpoint_at(1.0)
+    job.run_to_completion()
+    # without straggler draws, the write time is the deterministic model
+    fs = cluster.storage
+    expected = fs.burst([job.runtimes[0].proc.upper_bytes()] * 4,
+                        [0, 0, 1, 1], rng=None).max_time
+    assert report.write_time == pytest.approx(expected, rel=0.05)
+
+
+def test_profiling_after_restart(cluster):
+    """§4.2: switch to an instrumented run mid-flight — restart the job and
+    enable PMPI-style tracing on the restarted world."""
+    factory = allreduce_factory(n_iters=6)
+    job = launch_small(cluster, factory)
+    ckpt, _ = job.checkpoint_at(1.0)
+    job2 = restart(ckpt, cluster, factory, ranks_per_node=2)
+    job2.enable_profiling()
+    job2.run_to_completion()
+    profile = job2.call_profile()
+    assert profile.get("allreduce", (0, 0))[0] > 0
+    # the original (un-instrumented) job records nothing
+    job.run_to_completion()
+    assert job.call_profile() == {}

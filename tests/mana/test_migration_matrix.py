@@ -1,0 +1,74 @@
+"""Capstone: the m×n agnosticism claim, exercised as a chained migration.
+
+The paper's pitch is one code base over every (MPI implementation ×
+interconnect) combination.  This test checkpoints one job and restarts the
+SAME images under every combination; then chains migrations through a
+sequence of worlds, checkpointing each time — the "temporally complex
+computation outliving its original cluster" of §4.2.
+"""
+
+import itertools
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+from repro.mpilib.impls import IMPLEMENTATIONS
+from repro.net import INTERCONNECTS
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+FABRICS = [n for n in sorted(INTERCONNECTS) if n != "shmem"]  # shmem = intra-node
+MPIS = list(IMPLEMENTATIONS)
+
+
+@pytest.fixture(scope="module")
+def source_run():
+    cluster = make_cluster("matrix-src", 2, interconnect="aries",
+                           default_mpi="craympich")
+    factory = allreduce_factory(n_iters=5)
+    baseline = launch_small(cluster, factory)
+    baseline.run_to_completion()
+    expected = [s["hist"] for s in baseline.states]
+
+    job = launch_small(cluster, factory)
+    ckpt, _ = job.checkpoint_at(1.2)
+    return factory, ckpt, expected
+
+
+@pytest.mark.parametrize("mpi,net", list(itertools.product(MPIS, FABRICS)))
+def test_one_image_restarts_everywhere(source_run, mpi, net):
+    """Every implementation × fabric combination accepts the same images."""
+    factory, ckpt, expected = source_run
+    dst = make_cluster(f"dst-{mpi}-{net}", 2, interconnect=net)
+    job = restart(ckpt, dst, factory, mpi=mpi, ranks_per_node=2)
+    job.run_to_completion()
+    assert [s["hist"] for s in job.states] == expected
+    assert job.world.impl.name == mpi
+    assert job.world.fabric.name == net
+
+
+def test_chained_migration_through_every_implementation():
+    """Checkpoint → migrate → checkpoint → migrate …, visiting every
+    implementation once, with changing fabrics and layouts."""
+    factory = allreduce_factory(n_iters=2 * len(MPIS) + 2)
+    src = make_cluster("chain-0", 2, interconnect="aries",
+                       default_mpi=MPIS[0])
+    baseline = launch_small(src, factory)
+    baseline.run_to_completion()
+    expected = [s["hist"] for s in baseline.states]
+
+    job = launch_small(src, factory)
+    ckpt, _ = job.checkpoint_at(0.7)
+    for hop, mpi in enumerate(MPIS[1:] + [MPIS[0]], start=1):
+        net = FABRICS[hop % len(FABRICS)]
+        nodes = 1 + hop % 4
+        dst = make_cluster(f"chain-{hop}", nodes, cores_per_node=32,
+                           interconnect=net)
+        job = restart(ckpt, dst, factory, mpi=mpi,
+                      ranks_per_node=-(-4 // nodes))
+        if hop < len(MPIS):
+            job.run_until(job.engine.now + 0.9)
+            ckpt, _ = job.checkpoint()
+    job.run_to_completion()
+    assert [s["hist"] for s in job.states] == expected

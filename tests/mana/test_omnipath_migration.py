@@ -1,0 +1,31 @@
+"""Migration onto the Omni-Path fabric (the interconnect DMTCP could only
+partially support — under MANA it is just another discardable lower half)."""
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+
+from tests.mana.conftest import launch_small, ring_factory, expected_ring_acc
+
+
+def test_restart_onto_omnipath():
+    src = make_cluster("src", 2, interconnect="aries")
+    factory = ring_factory(n_steps=5)
+    job = launch_small(src, factory)
+    ckpt, _ = job.checkpoint_at(0.45)
+
+    dst = make_cluster("opa", 4, interconnect="omnipath")
+    job2 = restart(ckpt, dst, factory, ranks_per_node=1, mpi="intelmpi")
+    job2.run_to_completion()
+    assert job2.world.fabric.name == "omnipath"
+    for r, s in enumerate(job2.states):
+        assert s["acc"] == expected_ring_acc(r, 4, 5)
+
+
+def test_omnipath_lower_half_regions():
+    src = make_cluster("opa", 2, interconnect="omnipath")
+    job = launch_mana(src, ring_factory(3), n_ranks=4, ranks_per_node=2,
+                      app_mem_bytes=1 << 20).start()
+    names = {r.name for r in job.runtimes[0].proc.space.regions()}
+    assert "opa-psm2-mmio" in names
+    assert "opa-pinned-eager" in names
+    job.run_to_completion()

@@ -1,0 +1,137 @@
+"""Property-based exactness: checkpoint anywhere, restart anywhere,
+bit-identical results (DESIGN.md invariant 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+from repro.mpilib import MAX, SUM
+from repro.mprog import Call, Compute, Loop, Program, Seq
+
+# ------------------------------------------------------- a mixed workload
+# p2p ring + allreduce + reduction state, so every checkpoint lands amid a
+# different mixture of in-flight messages and collective phases.
+
+
+def _mx_init(s):
+    rng = np.random.default_rng(1234 + s["rank"])
+    s["vec"] = rng.random(16)
+    s["trace"] = []
+
+
+def _mx_send(s, api):
+    return api.send((s["rank"] + 1) % s["size"], s["vec"][:4].copy(), tag=3)
+
+
+def _mx_recv(s, api):
+    return api.recv(source=(s["rank"] - 1) % s["size"], tag=3)
+
+
+def _mx_mix(s):
+    data, _ = s["got"]
+    s["vec"][:4] = 0.5 * (s["vec"][:4] + data)
+
+
+def _mx_allreduce(s, api):
+    return api.allreduce(s["vec"], SUM)
+
+
+def _mx_maxreduce(s, api):
+    return api.allreduce(np.array([s["vec"].sum()]), MAX)
+
+
+def _mx_absorb(s):
+    s["vec"] = s["vec"] + 0.01 * s["summed"]
+    s["trace"].append(round(float(s["peak"][0]), 12))
+
+
+def mixed_factory(n_iters):
+    def factory(rank, size):
+        return Program(Seq(
+            Compute(_mx_init),
+            Loop(n_iters, Seq(
+                Call(_mx_send),
+                Compute(lambda s: None, cost=0.15, label="work"),
+                Call(_mx_recv, store="got"),
+                Compute(_mx_mix),
+                Call(_mx_allreduce, store="summed"),
+                Call(_mx_maxreduce, store="peak"),
+                Compute(_mx_absorb, cost=0.1),
+            )),
+        ), name="mixed")
+
+    return factory
+
+
+NETS = ["aries", "infiniband", "tcp"]
+MPIS = ["craympich", "mpich", "openmpi", "intelmpi", "mpich-debug"]
+
+
+def run_to_traces(job):
+    job.run_to_completion()
+    return [s["trace"] for s in job.states], [s["vec"].copy() for s in job.states]
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    n_ranks=st.sampled_from([2, 3, 4]),
+    n_iters=st.integers(2, 5),
+    ckpt_frac=st.floats(0.02, 0.95),
+    src_net=st.sampled_from(NETS),
+    dst_net=st.sampled_from(NETS),
+    src_mpi=st.sampled_from(MPIS),
+    dst_mpi=st.sampled_from(MPIS),
+    dst_nodes=st.sampled_from([1, 2, 4]),
+)
+def test_checkpoint_restart_exactness(n_ranks, n_iters, ckpt_frac, src_net,
+                                      dst_net, src_mpi, dst_mpi, dst_nodes):
+    factory = mixed_factory(n_iters)
+    src = make_cluster("src", 2, interconnect=src_net)
+
+    baseline_job = launch_mana(src, factory, n_ranks=n_ranks,
+                               ranks_per_node=-(-n_ranks // 2),
+                               mpi=src_mpi).start()
+    t_end = baseline_job.engine.now
+    baseline_traces, baseline_vecs = run_to_traces(baseline_job)
+    duration = baseline_job.engine.now - t_end
+
+    job = launch_mana(src, factory, n_ranks=n_ranks,
+                      ranks_per_node=-(-n_ranks // 2), mpi=src_mpi).start()
+    ckpt, _report = job.checkpoint_at(duration * ckpt_frac)
+
+    dst = make_cluster("dst", dst_nodes, cores_per_node=32, interconnect=dst_net)
+    job2 = restart(ckpt, dst, factory, mpi=dst_mpi,
+                   ranks_per_node=-(-n_ranks // dst_nodes))
+    traces, vecs = run_to_traces(job2)
+
+    assert traces == baseline_traces
+    for v, b in zip(vecs, baseline_vecs):
+        assert np.array_equal(v, b), "restart must be bit-identical"
+
+    # the interrupted original run must also still be correct
+    cont_traces, cont_vecs = run_to_traces(job)
+    assert cont_traces == baseline_traces
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_determinism_same_seed_same_world(seed):
+    """Two identical launches produce identical event outcomes."""
+    factory = mixed_factory(3)
+
+    def run():
+        cl = make_cluster("d", 2, interconnect="aries")
+        job = launch_mana(cl, factory, n_ranks=4, ranks_per_node=2,
+                          seed=seed).start()
+        job.run_to_completion()
+        return [s["trace"] for s in job.states], job.engine.now
+
+    t1, now1 = run()
+    t2, now2 = run()
+    assert t1 == t2
+    assert now1 == now2

@@ -1,0 +1,118 @@
+"""Property: MANA is *transparent* — any program computes exactly the same
+values under MANA as natively (only timing differs)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana
+from repro.mpilib import MAX, MIN, SUM, launch
+from repro.mprog import Call, Compute, If, Loop, Program, Seq
+from repro.runtime.native import NativeJob
+from repro.simtime import Engine
+
+OPS = {"sum": SUM, "max": MAX, "min": MIN}
+
+
+def build_program(step_kinds, n_iters):
+    """A program from a generated list of step kinds."""
+
+    def factory(rank, size):
+        def init(s):
+            rng = np.random.default_rng(500 + s["rank"])
+            s["v"] = rng.random(8)
+            s["out"] = []
+
+        nodes = [Compute(init)]
+        body = []
+        for i, kind in enumerate(step_kinds):
+            if kind in OPS:
+                op = OPS[kind]
+
+                def coll(s, api, op=op):
+                    return api.allreduce(s["v"], op)
+
+                def absorb(s, i=i):
+                    s["out"].append(round(float(s["_c"].sum()), 12))
+                    s["v"] = s["v"] * 0.5 + 0.1
+
+                body.append(Call(coll, store="_c"))
+                body.append(Compute(absorb))
+            elif kind == "ring":
+                def send(s, api):
+                    return api.send((s["rank"] + 1) % s["size"],
+                                    s["v"][:2].copy(), tag=5)
+
+                def recv(s, api):
+                    return api.recv(source=(s["rank"] - 1) % s["size"], tag=5)
+
+                def mix(s):
+                    data, _ = s["_r"]
+                    s["v"][:2] = 0.5 * (s["v"][:2] + data)
+                    s["out"].append(round(float(s["v"].sum()), 12))
+
+                body.append(Call(send))
+                body.append(Call(recv, store="_r"))
+                body.append(Compute(mix))
+            elif kind == "gather":
+                def gath(s, api):
+                    return api.gather(np.array([s["v"].sum()]), root=0)
+
+                def take(s):
+                    if s["_g"] is not None:
+                        s["out"].append(
+                            round(float(sum(g[0] for g in s["_g"])), 12)
+                        )
+
+                body.append(Call(gath, store="_g"))
+                body.append(Compute(take))
+            elif kind == "bcast":
+                def bc(s, api):
+                    payload = s["v"][:3].copy() if s["rank"] == 0 else None
+                    return api.bcast(payload, root=0)
+
+                def absorb_bc(s):
+                    s["v"][:3] = s["_b"]
+                    s["out"].append(round(float(s["v"][0]), 12))
+
+                body.append(Call(bc, store="_b"))
+                body.append(Compute(absorb_bc))
+        nodes.append(Loop(n_iters, Seq(*body)))
+        return Program(Seq(*nodes), name="generated")
+
+    return factory
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    step_kinds=st.lists(
+        st.sampled_from(["sum", "max", "min", "ring", "gather", "bcast"]),
+        min_size=1, max_size=4,
+    ),
+    n_iters=st.integers(1, 3),
+    n_ranks=st.sampled_from([2, 3, 4]),
+    mpi=st.sampled_from(["craympich", "mpich", "openmpi"]),
+)
+def test_mana_transparent_for_generated_programs(step_kinds, n_iters,
+                                                 n_ranks, mpi):
+    factory = build_program(step_kinds, n_iters)
+    cluster = make_cluster("prop", 2, interconnect="aries")
+
+    engine = Engine()
+    world = launch(engine, cluster, n_ranks,
+                   ranks_per_node=-(-n_ranks // 2), mpi=mpi)
+    native = NativeJob(engine, world,
+                       [factory(r, n_ranks) for r in range(n_ranks)])
+    native.run_to_completion()
+
+    mana = launch_mana(cluster, factory, n_ranks=n_ranks,
+                       ranks_per_node=-(-n_ranks // 2), mpi=mpi,
+                       app_mem_bytes=1 << 20).start()
+    mana.run_to_completion()
+
+    for ns, ms in zip(native.states, mana.states):
+        assert ns["out"] == ms["out"]
+        assert np.array_equal(ns["v"], ms["v"])

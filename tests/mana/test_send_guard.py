@@ -1,0 +1,185 @@
+"""Exactly-once sends in multi-op call leaves (sendrecv / exchange).
+
+Regression suite for a bug found during reproduction: a Call leaf that both
+sends and receives is re-executed after restart (the interpreter's
+continuation unit is the leaf), so its send — already drained into the
+peer's buffer at checkpoint time — would be duplicated, and a later receive
+with the same envelope could match the stale duplicate.  The send guard
+keys on the dynamic leaf instance and is part of the checkpoint image.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+from repro.mprog import Call, Compute, Loop, Program, Seq
+
+
+def skewed_sendrecv_factory(n_steps=4):
+    """Rank 1 arrives late at each exchange, so a checkpoint catches rank 0
+    blocked inside the sendrecv leaf with its send already drained."""
+
+    def factory(rank, size):
+        def init(s):
+            s["v"] = float(s["rank"])
+            s["log"] = []
+
+        def skew(s):
+            return 0.1 + 0.8 * s["rank"]
+
+        def xchg(s, api):
+            peer = 1 - s["rank"]
+            return api.sendrecv(peer, np.array([s["v"]]), source=peer, tag=1)
+
+        def absorb(s):
+            s["log"].append(float(s["got"][0][0]))
+            s["v"] += 10.0  # payload varies: duplicates would be visible
+
+        return Program(Seq(Compute(init), Loop(n_steps, Seq(
+            Compute(lambda s: None, cost=skew),
+            Call(xchg, store="got"),
+            Compute(absorb),
+        ))))
+
+    return factory
+
+
+def exchange_factory(n_steps=4):
+    """Batched exchange with both ring neighbours, varying payloads."""
+
+    def factory(rank, size):
+        def init(s):
+            s["v"] = float(s["rank"])
+            s["log"] = []
+
+        def skew(s):
+            return 0.05 + 0.25 * s["rank"]
+
+        def xchg(s, api):
+            left, right = (s["rank"] - 1) % s["size"], (s["rank"] + 1) % s["size"]
+            payload = np.array([s["v"]])
+            return api.exchange(
+                sends=[(left, payload, 2, 8), (right, payload, 2, 8)],
+                recvs=[(left, 2), (right, 2)],
+            )
+
+        def absorb(s):
+            got = [float(d[0]) for d, _st in s["res"]]
+            s["log"].append(tuple(got))
+            s["v"] += 100.0
+
+        return Program(Seq(Compute(init), Loop(n_steps, Seq(
+            Compute(lambda s: None, cost=skew),
+            Call(xchg, store="res"),
+            Compute(absorb),
+        ))))
+
+    return factory
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("guard", 2, interconnect="tcp")
+
+
+def baseline_logs(cluster, factory, n_ranks, rpn):
+    job = launch_mana(cluster, factory, n_ranks=n_ranks, ranks_per_node=rpn,
+                      app_mem_bytes=1 << 20).start()
+    job.run_to_completion()
+    return [s["log"] for s in job.states], job.engine.now
+
+
+@pytest.mark.parametrize("t_frac", [0.05, 0.2, 0.4, 0.6, 0.8])
+def test_sendrecv_no_duplicate_after_restart(cluster, t_frac):
+    factory = skewed_sendrecv_factory()
+    expected, total = baseline_logs(cluster, factory, 2, 1)
+    job = launch_mana(cluster, factory, n_ranks=2, ranks_per_node=1,
+                      app_mem_bytes=1 << 20).start()
+    ckpt, _ = job.checkpoint_at(total * t_frac)
+    job2 = restart(ckpt, cluster, factory, ranks_per_node=1)
+    job2.run_to_completion()
+    assert [s["log"] for s in job2.states] == expected
+    # the interrupted original continues correctly too
+    job.run_to_completion()
+    assert [s["log"] for s in job.states] == expected
+
+
+@pytest.mark.parametrize("t_frac", [0.1, 0.35, 0.65, 0.9])
+def test_exchange_no_duplicate_after_restart(t_frac):
+    cluster = make_cluster("guard4", 4, interconnect="aries")
+    factory = exchange_factory()
+    expected, total = baseline_logs(cluster, factory, 4, 1)
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=1,
+                      app_mem_bytes=1 << 20).start()
+    ckpt, _ = job.checkpoint_at(total * t_frac)
+    job2 = restart(ckpt, cluster, factory, ranks_per_node=1, mpi="openmpi")
+    job2.run_to_completion()
+    assert [s["log"] for s in job2.states] == expected
+
+
+def test_guard_state_travels_in_image(cluster):
+    factory = skewed_sendrecv_factory()
+    _expected, total = baseline_logs(cluster, factory, 2, 1)
+    job = launch_mana(cluster, factory, n_ranks=2, ranks_per_node=1,
+                      app_mem_bytes=1 << 20).start()
+    ckpt, _ = job.checkpoint_at(total * 0.15)
+    states = [ckpt.image_for(r).restore_state() for r in range(2)]
+    # rank 0 was blocked in the sendrecv leaf: its guard must be captured
+    assert any(s["sends_done"] for s in states), \
+        "a pending sendrecv's send guard should be in the image"
+
+
+def test_guard_cleaned_up_after_completion(cluster):
+    factory = skewed_sendrecv_factory()
+    job = launch_mana(cluster, factory, n_ranks=2, ranks_per_node=1,
+                      app_mem_bytes=1 << 20).start()
+    job.run_to_completion()
+    assert all(not rt.sends_done for rt in job.runtimes)
+
+
+@pytest.mark.parametrize("t_frac", [0.15, 0.45, 0.75])
+def test_exchange_rendezvous_sizes_across_restart(t_frac):
+    """Same exchange pattern but with modeled sizes deep in the rendezvous
+    regime (1 MB > every implementation's eager threshold): RTS/CTS
+    handshakes are in flight at checkpoint time and the drain must complete
+    them; restart must not duplicate or lose anything."""
+    cluster = make_cluster("rdv", 4, interconnect="aries")
+
+    def factory(rank, size):
+        def init(s):
+            s["v"] = float(s["rank"])
+            s["log"] = []
+
+        def skew(s):
+            return 0.05 + 0.22 * s["rank"]
+
+        def xchg(s, api):
+            left = (s["rank"] - 1) % s["size"]
+            right = (s["rank"] + 1) % s["size"]
+            payload = np.array([s["v"]])
+            return api.exchange(
+                sends=[(left, payload, 9, 1 << 20), (right, payload, 9, 1 << 20)],
+                recvs=[(left, 9), (right, 9)],
+            )
+
+        def absorb(s):
+            got = tuple(float(d[0]) for d, _st in s["res"])
+            s["log"].append(got)
+            s["v"] += 1000.0
+
+        return Program(Seq(Compute(init), Loop(3, Seq(
+            Compute(lambda s: None, cost=skew),
+            Call(xchg, store="res"),
+            Compute(absorb),
+        ))))
+
+    expected, total = baseline_logs(cluster, factory, 4, 1)
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=1,
+                      app_mem_bytes=1 << 20).start()
+    ckpt, _ = job.checkpoint_at(total * t_frac)
+    job2 = restart(ckpt, cluster, factory, ranks_per_node=1, mpi="mpich")
+    job2.run_to_completion()
+    assert [s["log"] for s in job2.states] == expected
+    job.run_to_completion()
+    assert [s["log"] for s in job.states] == expected

@@ -1,0 +1,170 @@
+"""Two-phase protocol on sub-communicators.
+
+The fully-entered-barrier refinement keys on (context id, membership): a
+trivial barrier on a *sub*-communicator is complete when its members have
+entered, regardless of what the rest of the world is doing.  These tests
+checkpoint while sub-groups sit in sub-communicator collectives.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+from repro.mpilib import SUM
+from repro.mprog import Call, Compute, Loop, Program, Seq
+
+
+def subcomm_factory(n_iters=6, skew=True):
+    """Split world into even/odd halves; each half allreduces on its own
+    communicator with (optionally) rank-dependent compute skew."""
+
+    def factory(rank, size):
+        def split(s, api):
+            return api.comm_split(color=s["rank"] % 2, key=s["rank"])
+
+        def init(s):
+            s["x"] = np.array([float(s["rank"] + 1)])
+            s["hist"] = []
+
+        def cost(s):
+            return 0.2 + (0.5 * s["rank"] if skew else 0.0)
+
+        def coll(s, api):
+            return api.allreduce(s["x"], SUM, comm=s["sub"])
+
+        def absorb(s):
+            s["hist"].append(float(s["y"][0]))
+
+        return Program(Seq(
+            Compute(init),
+            Call(split, store="sub"),
+            Loop(n_iters, Seq(
+                Compute(lambda s: None, cost=cost, label="work"),
+                Call(coll, store="y"),
+                Compute(absorb),
+            )),
+        ), name="subcomm-app")
+
+    return factory
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("sub", 4, interconnect="aries")
+
+
+def expected_hist(rank, size, n_iters):
+    members = [r for r in range(size) if r % 2 == rank % 2]
+    return [float(sum(m + 1 for m in members))] * n_iters
+
+
+@pytest.mark.parametrize("t_ckpt", [0.05, 0.4, 0.9, 1.5, 2.4])
+def test_checkpoint_during_subcomm_collectives(cluster, t_ckpt):
+    factory = subcomm_factory(n_iters=4)
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=1,
+                      app_mem_bytes=1 << 20).start()
+    ckpt, _report = job.checkpoint_at(t_ckpt)
+    job.run_to_completion()
+    for r, s in enumerate(job.states):
+        assert s["hist"] == expected_hist(r, 4, 4)
+
+    dst = make_cluster("dst", 2, interconnect="tcp")
+    job2 = restart(ckpt, dst, factory, ranks_per_node=2, mpi="mpich")
+    job2.run_to_completion()
+    for r, s in enumerate(job2.states):
+        assert s["hist"] == expected_hist(r, 4, 4)
+
+
+def test_one_subcomm_fully_in_barrier_other_computing(cluster):
+    """Even ranks sit in their sub-barrier (fully entered) while odd ranks
+    compute for a long time: the coordinator must let the even half's
+    collective commit and flow, then checkpoint safely."""
+
+    def factory(rank, size):
+        def split(s, api):
+            return api.comm_split(color=s["rank"] % 2, key=s["rank"])
+
+        def init(s):
+            s["x"] = np.array([1.0])
+
+        # even ranks reach their collective almost immediately; odd ranks
+        # compute for 2 simulated seconds first
+        def cost(s):
+            return 0.001 if s["rank"] % 2 == 0 else 2.0
+
+        def coll(s, api):
+            return api.allreduce(s["x"], SUM, comm=s["sub"])
+
+        return Program(Seq(
+            Compute(init),
+            Call(split, store="sub"),
+            Loop(3, Seq(
+                Compute(lambda s: None, cost=cost),
+                Call(coll, store="y"),
+            )),
+        ))
+
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=1,
+                      app_mem_bytes=1 << 20).start()
+    # trigger while evens are inside their subcomm wrapper and odds compute
+    ckpt, report = job.checkpoint_at(0.05)
+    job.run_to_completion()
+    assert all(s["y"][0] == 2.0 for s in job.states)
+
+    job2 = restart(ckpt, cluster, factory, ranks_per_node=1)
+    job2.run_to_completion()
+    assert all(s["y"][0] == 2.0 for s in job2.states)
+
+
+def test_overlapping_collectives_world_and_subcomm(cluster):
+    """Challenge III territory: independent collectives on overlapping
+    communicators in flight around a checkpoint."""
+
+    def factory(rank, size):
+        def split(s, api):
+            return api.comm_split(color=s["rank"] % 2, key=s["rank"])
+
+        def init(s):
+            s["x"] = np.array([float(s["rank"] + 1)])
+            s["trace"] = []
+
+        def sub_coll(s, api):
+            return api.allreduce(s["x"], SUM, comm=s["sub"])
+
+        def world_coll(s, api):
+            return api.allreduce(s["x"], SUM)
+
+        def cost(s):
+            return 0.1 + 0.3 * s["rank"]
+
+        def absorb(s):
+            s["trace"].append((float(s["a"][0]), float(s["b"][0])))
+
+        return Program(Seq(
+            Compute(init),
+            Call(split, store="sub"),
+            Loop(4, Seq(
+                Compute(lambda s: None, cost=cost),
+                Call(sub_coll, store="a"),
+                Call(world_coll, store="b"),
+                Compute(absorb),
+            )),
+        ))
+
+    baseline = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=1,
+                           app_mem_bytes=1 << 20).start()
+    baseline.run_to_completion()
+    expected = [s["trace"] for s in baseline.states]
+
+    for t_ckpt in (0.15, 0.7, 1.9):
+        job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=1,
+                          app_mem_bytes=1 << 20).start()
+        ckpt, _ = job.checkpoint_at(t_ckpt)
+        job.run_to_completion()
+        assert [s["trace"] for s in job.states] == expected
+
+        job2 = restart(ckpt, cluster, factory, ranks_per_node=1,
+                       mpi="intelmpi")
+        job2.run_to_completion()
+        assert [s["trace"] for s in job2.states] == expected

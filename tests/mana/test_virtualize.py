@@ -1,0 +1,111 @@
+"""Virtual handle tables."""
+
+import pytest
+
+from repro.mana.virtualize import (
+    VCOMM_WORLD,
+    HandleKind,
+    VirtualHandleTable,
+    VirtualizationError,
+)
+
+
+@pytest.fixture
+def table():
+    return VirtualHandleTable()
+
+
+def test_register_mints_increasing_ids(table):
+    a = table.register(HandleKind.COMM, object())
+    b = table.register(HandleKind.COMM, object())
+    assert b > a >= 1000
+
+
+def test_kinds_have_independent_namespaces(table):
+    c = table.register(HandleKind.COMM, "c")
+    d = table.register(HandleKind.DATATYPE, "d")
+    assert table.resolve(HandleKind.COMM, c) == "c"
+    assert table.resolve(HandleKind.DATATYPE, d) == "d"
+
+
+def test_explicit_virtual_id(table):
+    table.register(HandleKind.COMM, "world", virtual=VCOMM_WORLD)
+    assert table.resolve(HandleKind.COMM, VCOMM_WORLD) == "world"
+
+
+def test_double_bind_rejected(table):
+    table.register(HandleKind.COMM, "a", virtual=5)
+    with pytest.raises(VirtualizationError):
+        table.register(HandleKind.COMM, "b", virtual=5)
+
+
+def test_resolve_counts_lookups(table):
+    vid = table.register(HandleKind.COMM, "x")
+    assert table.lookups == 0
+    table.resolve(HandleKind.COMM, vid)
+    table.resolve(HandleKind.COMM, vid)
+    assert table.lookups == 2
+
+
+def test_dangling_resolve_raises(table):
+    with pytest.raises(VirtualizationError, match="dangling"):
+        table.resolve(HandleKind.COMM, 9999)
+
+
+def test_unregister(table):
+    vid = table.register(HandleKind.COMM, "x")
+    table.unregister(HandleKind.COMM, vid)
+    with pytest.raises(VirtualizationError):
+        table.resolve(HandleKind.COMM, vid)
+    with pytest.raises(VirtualizationError):
+        table.unregister(HandleKind.COMM, vid)
+
+
+def test_rebind_points_to_new_real(table):
+    vid = table.register(HandleKind.COMM, "old")
+    table.rebind(HandleKind.COMM, vid, "new")
+    assert table.resolve(HandleKind.COMM, vid) == "new"
+
+
+def test_reverse_lookup(table):
+    real = object()
+    vid = table.register(HandleKind.GROUP, real)
+    assert table.reverse(HandleKind.GROUP, real) == vid
+    assert table.reverse(HandleKind.GROUP, object()) is None
+
+
+def test_clear_reals_reports_dangling(table):
+    a = table.register(HandleKind.COMM, "a")
+    b = table.register(HandleKind.DATATYPE, "b")
+    dangling = table.clear_reals()
+    assert (HandleKind.COMM, a) in dangling
+    assert (HandleKind.DATATYPE, b) in dangling
+    with pytest.raises(VirtualizationError):
+        table.resolve(HandleKind.COMM, a)
+
+
+def test_snapshot_restore_preserves_counter(table):
+    a = table.register(HandleKind.COMM, "a")
+    snap = table.snapshot()
+
+    fresh = VirtualHandleTable()
+    fresh.restore(snap)
+    fresh.rebind(HandleKind.COMM, a, "a2")  # replay rebinds old ids
+    new = fresh.register(HandleKind.COMM, "b")
+    assert new > a, "minting after restore must not collide with old ids"
+
+
+def test_snapshot_does_not_consume_counter_values(table):
+    table.snapshot()
+    a = table.register(HandleKind.COMM, "a")
+    fresh = VirtualHandleTable()
+    b = fresh.register(HandleKind.COMM, "a")
+    assert a == b
+
+
+def test_snapshot_is_picklable(table):
+    import pickle
+
+    table.register(HandleKind.COMM, object())
+    snap = pickle.loads(pickle.dumps(table.snapshot()))
+    assert snap["bound"]["comm"]

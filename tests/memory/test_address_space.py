@@ -1,0 +1,133 @@
+"""AddressSpace mapping, sbrk hazard, and half-aware queries."""
+
+import pytest
+
+from repro.memory import AddressSpace, AddressSpaceError, Half, Perm, RegionKind
+from repro.memory.address_space import PAGE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+def test_mmap_returns_page_aligned_region(space):
+    r = space.mmap(100, Perm.RW, Half.UPPER, RegionKind.ANON, name="a")
+    assert r.size == PAGE
+    assert r.start % PAGE == 0
+
+
+def test_mmap_regions_never_overlap(space):
+    regions = [
+        space.mmap(1 << 16, Perm.RW, Half.UPPER, RegionKind.ANON, name=f"r{i}")
+        for i in range(20)
+    ]
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            assert not a.overlaps(b)
+
+
+def test_explicit_addr_overlap_raises(space):
+    space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, addr=0x10000, name="a")
+    with pytest.raises(AddressSpaceError, match="overlaps"):
+        space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, addr=0x10000, name="b")
+
+
+def test_munmap_removes_region(space):
+    r = space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="a")
+    space.munmap(r)
+    assert space.regions() == []
+
+
+def test_munmap_unknown_region_raises(space):
+    r = space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="a")
+    space.munmap(r)
+    with pytest.raises(AddressSpaceError):
+        space.munmap(r)
+
+
+def test_unmap_half_only_touches_that_half(space):
+    up = space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="up")
+    low = space.mmap(PAGE, Perm.RW, Half.LOWER, RegionKind.TEXT, name="low")
+    gone = space.unmap_half(Half.LOWER)
+    assert gone == [low]
+    assert space.regions() == [up]
+
+
+def test_find_by_name(space):
+    space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="a")
+    assert space.find("a").name == "a"
+    with pytest.raises(AddressSpaceError, match="no region"):
+        space.find("nope")
+
+
+def test_find_ambiguous_raises(space):
+    space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="dup")
+    space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="dup")
+    with pytest.raises(AddressSpaceError, match="ambiguous"):
+        space.find("dup")
+
+
+def test_region_at(space):
+    r = space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="a")
+    assert space.region_at(r.start) is r
+    assert space.region_at(r.end - 1) is r
+    assert space.region_at(r.end) is None
+    assert space.region_at(0) is None
+
+
+def test_total_size_filters(space):
+    space.mmap(2 * PAGE, Perm.RW, Half.UPPER, RegionKind.HEAP, name="h")
+    space.mmap(3 * PAGE, Perm.RX, Half.LOWER, RegionKind.TEXT, name="t")
+    assert space.total_size() == 5 * PAGE
+    assert space.total_size(half=Half.UPPER) == 2 * PAGE
+    assert space.total_size(half=Half.LOWER, kind=RegionKind.TEXT) == 3 * PAGE
+    assert space.total_size(half=Half.LOWER, kind=RegionKind.HEAP) == 0
+
+
+class TestSbrk:
+    def test_plain_sbrk_extends_kernel_break(self, space):
+        brk0 = space.brk
+        r = space.sbrk(100, caller_half=Half.LOWER)
+        assert r.start == brk0
+        assert space.brk == brk0 + PAGE
+
+    def test_sbrk_rejects_nonpositive(self, space):
+        with pytest.raises(AddressSpaceError):
+            space.sbrk(0, caller_half=Half.UPPER)
+
+    def test_interposer_redirects_upper_half_sbrk(self, space):
+        """The §2.1 hazard fix: upper-half sbrk becomes mmap, brk untouched."""
+        calls = []
+
+        def interposer(increment):
+            calls.append(increment)
+            return space.mmap(increment, Perm.RW, Half.UPPER, RegionKind.ANON,
+                              name="interposed")
+
+        space.sbrk_interposer = interposer
+        brk0 = space.brk
+        r = space.sbrk(100, caller_half=Half.UPPER)
+        assert calls == [100]
+        assert r.name == "interposed"
+        assert space.brk == brk0  # kernel break never moved
+
+    def test_interposer_not_consulted_for_lower_half(self, space):
+        space.sbrk_interposer = lambda inc: pytest.fail("must not be called")
+        space.sbrk(100, caller_half=Half.LOWER)
+
+    def test_sbrk_hazard_without_interposition(self, space):
+        """Demonstrates the hazard itself: without interposition, upper-half
+        malloc growth lands adjacent to the kernel break — which after
+        restart is lower-half territory."""
+        low = space.sbrk(PAGE, caller_half=Half.LOWER)
+        up = space.sbrk(PAGE, caller_half=Half.UPPER)  # no interposer set
+        assert up.start == low.end  # contiguous with lower-half heap: bad
+
+
+def test_maps_dump_contains_all_regions(space):
+    space.mmap(PAGE, Perm.RW, Half.UPPER, RegionKind.ANON, name="one")
+    space.mmap(PAGE, Perm.RX, Half.LOWER, RegionKind.TEXT, name="two")
+    dump = space.maps()
+    assert "one" in dump and "two" in dump
+    assert len(dump.splitlines()) == 2

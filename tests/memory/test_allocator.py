@@ -1,0 +1,116 @@
+"""UpperHeap allocation, growth-through-sbrk, and snapshot/restore."""
+
+import numpy as np
+import pytest
+
+from repro.memory import AddressSpace, AllocationError, Half, RegionKind, UpperHeap
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+@pytest.fixture
+def heap(space):
+    return UpperHeap(space, base_capacity=1 << 16, growth_chunk=1 << 16)
+
+
+def test_alloc_array_returns_live_array(heap):
+    arr = heap.alloc_array("x", 10, dtype=np.float64, fill=1.5)
+    assert np.all(arr == 1.5)
+    assert heap.get("x") is arr
+
+
+def test_double_alloc_raises(heap):
+    heap.alloc_array("x", 4)
+    with pytest.raises(AllocationError):
+        heap.alloc_array("x", 4)
+
+
+def test_free_releases_and_rejects_double_free(heap):
+    heap.alloc_array("x", 4)
+    used = heap.used
+    heap.free("x")
+    assert heap.used < used
+    with pytest.raises(AllocationError):
+        heap.free("x")
+    with pytest.raises(KeyError):
+        heap.get("x")
+
+
+def test_set_requires_existing_buffer(heap):
+    with pytest.raises(AllocationError):
+        heap.set("missing", 1)
+    heap.alloc_object("x", 1)
+    heap.set("x", 2)
+    assert heap.get("x") == 2
+
+
+def test_growth_goes_through_sbrk(space, heap):
+    """Allocating beyond base capacity triggers the address space's sbrk
+    path — the hook MANA interposes on."""
+    interposed = []
+
+    def interposer(increment):
+        r = space.mmap(increment, heap._regions[0].perm, Half.UPPER,
+                       RegionKind.ANON, name=f"heap-ext-{len(interposed)}")
+        interposed.append(r)
+        return r
+
+    space.sbrk_interposer = interposer
+    heap.alloc_array("big", 1 << 18, dtype=np.uint8)  # 256 KiB > 64 KiB base
+    assert interposed, "growth should have consulted the interposer"
+    assert heap.capacity >= heap.used
+
+
+def test_growth_without_interposer_moves_kernel_break(space, heap):
+    brk0 = space.brk
+    heap.alloc_array("big", 1 << 18, dtype=np.uint8)
+    assert space.brk > brk0
+
+
+def test_used_and_capacity_accounting(heap):
+    assert heap.used == 0
+    heap.alloc_array("a", 100, dtype=np.uint8)
+    assert heap.used == 100
+    heap.alloc_object("b", {"k": 1}, nbytes=50)
+    assert heap.used == 150
+    heap.free("a")
+    assert heap.used == 50
+
+
+def test_snapshot_restore_round_trip(space):
+    h1 = UpperHeap(space, base_capacity=1 << 16)
+    a = h1.alloc_array("state", 8, fill=3.0)
+    h1.alloc_object("counter", 41, nbytes=8)
+    a[0] = -1.0
+    snap = h1.snapshot_payload()
+
+    space2 = AddressSpace()
+    h2 = UpperHeap(space2, base_capacity=1 << 16)
+    h2.restore_payload(snap)
+    restored = h2.get("state")
+    assert restored[0] == -1.0
+    assert np.array_equal(restored, a)
+    assert h2.get("counter") == 41
+    assert h2.used == h1.used
+
+
+def test_restore_larger_than_base_grows(space):
+    h1 = UpperHeap(space, base_capacity=1 << 20)
+    h1.alloc_array("big", 1 << 18, dtype=np.uint8)
+    snap = h1.snapshot_payload()
+
+    space2 = AddressSpace()
+    h2 = UpperHeap(space2, base_capacity=1 << 12, growth_chunk=1 << 12)
+    h2.restore_payload(snap)
+    assert h2.capacity >= h2.used
+    assert h2.get("big").nbytes == 1 << 18
+
+
+def test_names_sorted(heap):
+    heap.alloc_object("z", 1)
+    heap.alloc_object("a", 2)
+    assert list(heap.names()) == ["a", "z"]
+    assert "a" in heap and "q" not in heap

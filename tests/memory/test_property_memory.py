@@ -1,0 +1,131 @@
+"""Property-based tests on the address space and heap (DESIGN invariant 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import AddressSpace, AllocationError, Half, Perm, RegionKind, UpperHeap
+
+
+@st.composite
+def mmap_script(draw):
+    """A random sequence of mmap/munmap/sbrk operations."""
+    ops = []
+    n = draw(st.integers(1, 30))
+    for i in range(n):
+        kind = draw(st.sampled_from(["mmap", "munmap", "sbrk_upper",
+                                     "sbrk_lower", "unmap_half"]))
+        if kind == "mmap":
+            ops.append((kind, draw(st.integers(1, 1 << 20)),
+                        draw(st.sampled_from([Half.UPPER, Half.LOWER]))))
+        elif kind == "munmap":
+            ops.append((kind, draw(st.integers(0, 100))))
+        elif kind == "unmap_half":
+            ops.append((kind, draw(st.sampled_from([Half.UPPER, Half.LOWER]))))
+        else:
+            ops.append((kind, draw(st.integers(1, 1 << 16))))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=mmap_script())
+def test_regions_never_overlap_and_accounting_balances(script):
+    space = AddressSpace()
+    live = []
+    for op in script:
+        if op[0] == "mmap":
+            live.append(space.mmap(op[1], Perm.RW, op[2], RegionKind.ANON))
+        elif op[0] == "munmap":
+            if live:
+                space.munmap(live.pop(op[1] % len(live)))
+        elif op[0] == "unmap_half":
+            gone = space.unmap_half(op[1])
+            live = [r for r in live if r not in gone]
+        elif op[0] == "sbrk_upper":
+            live.append(space.sbrk(op[1], caller_half=Half.UPPER))
+        elif op[0] == "sbrk_lower":
+            live.append(space.sbrk(op[1], caller_half=Half.LOWER))
+    regions = space.regions()
+    # invariant: pairwise disjoint
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            assert not a.overlaps(b)
+    # invariant: accounting matches the live set
+    assert space.total_size() == sum(r.size for r in regions)
+    # regions() returns address order
+    assert sorted(r.start for r in regions) == [r.start for r in regions]
+
+
+@st.composite
+def heap_script(draw):
+    """Random alloc/free/set sequences over named buffers."""
+    ops = []
+    for i in range(draw(st.integers(1, 40))):
+        kind = draw(st.sampled_from(["alloc", "free", "set"]))
+        name = f"buf{draw(st.integers(0, 9))}"
+        if kind == "alloc":
+            ops.append((kind, name, draw(st.integers(1, 1 << 18))))
+        else:
+            ops.append((kind, name))
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=heap_script())
+def test_heap_alloc_free_balanced(script):
+    space = AddressSpace()
+    heap = UpperHeap(space, base_capacity=1 << 14, growth_chunk=1 << 14)
+    model = {}
+    for op in script:
+        if op[0] == "alloc":
+            _, name, nbytes = op
+            if name in model:
+                with pytest.raises(AllocationError):
+                    heap.alloc_object(name, 0, nbytes=nbytes)
+            else:
+                heap.alloc_object(name, name.encode(), nbytes=nbytes)
+                model[name] = nbytes
+        elif op[0] == "free":
+            _, name = op
+            if name in model:
+                heap.free(name)
+                del model[name]
+            else:
+                with pytest.raises(AllocationError):
+                    heap.free(name)
+        else:
+            _, name = op
+            if name in model:
+                heap.set(name, b"updated")
+            else:
+                with pytest.raises(AllocationError):
+                    heap.set(name, b"x")
+    assert heap.used == sum(model.values())
+    assert heap.capacity >= heap.used
+    assert sorted(model) == list(heap.names())
+    # all heap regions are UPPER-half (the sbrk interposition contract)
+    # (growth regions came from the kernel path here, tagged by caller)
+    for region in space.regions():
+        assert region.half is Half.UPPER
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 1 << 16), min_size=1, max_size=10),
+)
+def test_heap_snapshot_restore_preserves_everything(sizes):
+    space = AddressSpace()
+    heap = UpperHeap(space, base_capacity=1 << 14, growth_chunk=1 << 14)
+    arrays = {}
+    for i, nbytes in enumerate(sizes):
+        arrays[f"a{i}"] = heap.alloc_array(f"a{i}", nbytes // 8 + 1)
+        arrays[f"a{i}"][:] = i
+    snap = heap.snapshot_payload()
+
+    heap2 = UpperHeap(AddressSpace(), base_capacity=1 << 12,
+                      growth_chunk=1 << 12)
+    heap2.restore_payload(snap)
+    assert heap2.used == heap.used
+    for name, arr in arrays.items():
+        assert np.array_equal(heap2.get(name), arr)

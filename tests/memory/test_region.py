@@ -1,0 +1,52 @@
+"""MemoryRegion semantics."""
+
+import pytest
+
+from repro.memory import Half, MemoryRegion, Perm, RegionKind
+
+
+def region(start=0x1000, size=0x1000, half=Half.UPPER, **kw):
+    return MemoryRegion(start=start, size=size, perm=Perm.RW, half=half,
+                        kind=RegionKind.ANON, **kw)
+
+
+def test_end_is_exclusive():
+    r = region(start=0x1000, size=0x1000)
+    assert r.end == 0x2000
+    assert r.contains(0x1FFF)
+    assert not r.contains(0x2000)
+
+
+def test_zero_size_rejected():
+    with pytest.raises(ValueError):
+        region(size=0)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        region(start=-1)
+
+
+@pytest.mark.parametrize(
+    "a_start,a_size,b_start,b_size,expect",
+    [
+        (0x1000, 0x1000, 0x2000, 0x1000, False),  # adjacent
+        (0x1000, 0x1000, 0x1800, 0x1000, True),   # partial
+        (0x1000, 0x4000, 0x2000, 0x1000, True),   # contained
+        (0x1000, 0x1000, 0x0000, 0x1000, False),  # adjacent below
+        (0x1000, 0x1000, 0x1000, 0x1000, True),   # identical
+    ],
+)
+def test_overlap(a_start, a_size, b_start, b_size, expect):
+    a = region(start=a_start, size=a_size)
+    b = region(start=b_start, size=b_size)
+    assert a.overlaps(b) is expect
+    assert b.overlaps(a) is expect
+
+
+def test_describe_mentions_half_and_perms():
+    r = region(half=Half.LOWER, name="libmpi.so")
+    d = r.describe()
+    assert "lower" in d
+    assert "rw-" in d
+    assert "libmpi.so" in d

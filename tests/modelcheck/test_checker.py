@@ -1,0 +1,130 @@
+"""The explicit-state checker itself, on tiny hand-built models."""
+
+import pytest
+
+from repro.modelcheck.checker import Model, ModelChecker
+
+
+class LineModel(Model):
+    """0 -> 1 -> ... -> n (terminal)."""
+
+    def __init__(self, n, bad=None):
+        self.n = n
+        self.bad = bad
+
+    def initial_states(self):
+        return [0]
+
+    def successors(self, s):
+        if s < self.n:
+            yield (f"step{s}", s + 1)
+
+    def invariants(self):
+        if self.bad is None:
+            return {}
+        return {"not-bad": lambda s: s != self.bad}
+
+    def is_terminal(self, s):
+        return s == self.n
+
+
+class ForkModel(Model):
+    """0 branches to a terminal and to a dead end."""
+
+    def initial_states(self):
+        return ["start"]
+
+    def successors(self, s):
+        if s == "start":
+            yield ("good", "end")
+            yield ("bad", "stuck")
+
+    def is_terminal(self, s):
+        return s == "end"
+
+
+class CycleModel(Model):
+    """A cycle that can always escape to a terminal."""
+
+    def initial_states(self):
+        return [0]
+
+    def successors(self, s):
+        if s == 0:
+            yield ("loop", 1)
+            yield ("exit", "end")
+        elif s == 1:
+            yield ("back", 0)
+
+    def is_terminal(self, s):
+        return s == "end"
+
+
+def test_clean_line_passes():
+    res = ModelChecker(LineModel(5)).run()
+    assert res.ok
+    assert res.states_explored == 6
+    assert res.diameter == 5
+
+
+def test_invariant_violation_with_shortest_trace():
+    res = ModelChecker(LineModel(5, bad=3)).run()
+    assert not res.ok
+    assert res.failure == "not-bad"
+    assert res.trace == ["step0", "step1", "step2"]
+    assert res.failing_state == 3
+
+
+def test_deadlock_detection():
+    res = ModelChecker(ForkModel()).run(check_liveness=False)
+    assert not res.ok
+    assert res.failure == "deadlock"
+    assert res.trace == ["bad"]
+
+
+def test_liveness_passes_with_escapeable_cycle():
+    res = ModelChecker(CycleModel()).run(check_liveness=True)
+    assert res.ok
+
+
+def test_liveness_failure():
+    class Trap(Model):
+        def initial_states(self):
+            return [0]
+
+        def successors(self, s):
+            if s == 0:
+                yield ("go", "end")
+                yield ("trap", 1)
+            elif s == 1:
+                yield ("spin", 2)
+            elif s == 2:
+                yield ("spin", 1)
+
+        def is_terminal(self, s):
+            return s == "end"
+
+    res = ModelChecker(Trap()).run(check_liveness=True)
+    assert not res.ok
+    assert res.failure == "liveness"
+
+
+def test_max_states_guard():
+    class Infinite(Model):
+        def initial_states(self):
+            return [0]
+
+        def successors(self, s):
+            yield ("inc", s + 1)
+
+        def is_terminal(self, s):
+            return False
+
+    with pytest.raises(RuntimeError, match="state space"):
+        ModelChecker(Infinite(), max_states=100).run()
+
+
+def test_initial_state_invariant_checked():
+    res = ModelChecker(LineModel(3, bad=0)).run()
+    assert not res.ok
+    assert res.trace == []

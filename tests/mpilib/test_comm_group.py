@@ -1,0 +1,152 @@
+"""Group algebra, communicators, and topologies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mpilib import Communicator, Group, MpiError
+from repro.mpilib.comm import ANY_SOURCE
+from repro.mpilib.topology import CartTopology, GraphTopology, dims_create
+
+
+class TestGroup:
+    def test_duplicate_ranks_rejected(self):
+        with pytest.raises(MpiError):
+            Group((0, 1, 1))
+
+    def test_rank_of_and_translate(self):
+        g = Group((4, 2, 7))
+        assert g.size == 3
+        assert g.rank_of(2) == 1
+        assert g.rank_of(99) is None
+        assert g.translate(2) == 7
+        with pytest.raises(MpiError):
+            g.translate(3)
+
+    def test_incl_preserves_order(self):
+        g = Group((10, 11, 12, 13))
+        assert g.incl([3, 0]).world_ranks == (13, 10)
+
+    def test_excl(self):
+        g = Group((10, 11, 12, 13))
+        assert g.excl([1, 2]).world_ranks == (10, 13)
+
+    def test_excl_validates(self):
+        with pytest.raises(MpiError):
+            Group((0, 1)).excl([5])
+
+    def test_union_intersection_difference(self):
+        a = Group((0, 1, 2))
+        b = Group((2, 3))
+        assert a.union(b).world_ranks == (0, 1, 2, 3)
+        assert a.intersection(b).world_ranks == (2,)
+        assert a.difference(b).world_ranks == (0, 1)
+
+    @given(st.lists(st.integers(0, 31), unique=True, min_size=1, max_size=16))
+    def test_rank_of_translate_inverse(self, ranks):
+        g = Group(tuple(ranks))
+        for i, w in enumerate(ranks):
+            assert g.rank_of(w) == i
+            assert g.translate(i) == w
+
+
+class TestCommunicator:
+    def _comm(self, ranks=(0, 1, 2, 3)):
+        return Communicator(handle=1, context_id=7, group=Group(ranks))
+
+    def test_size_and_mapping(self):
+        c = self._comm((5, 6))
+        assert c.size == 2
+        assert c.rank_of_world(6) == 1
+        assert c.world_of_rank(0) == 5
+
+    def test_validate_rank(self):
+        c = self._comm()
+        c.validate_rank(3)
+        c.validate_rank(ANY_SOURCE, allow_any=True)
+        with pytest.raises(MpiError):
+            c.validate_rank(4)
+        with pytest.raises(MpiError):
+            c.validate_rank(ANY_SOURCE)
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize("n,nd,expected", [
+        (8, 2, [4, 2]),
+        (8, 3, [2, 2, 2]),
+        (12, 2, [4, 3]),
+        (7, 1, [7]),
+        (1, 3, [1, 1, 1]),
+    ])
+    def test_balanced(self, n, nd, expected):
+        assert dims_create(n, nd) == expected
+
+    @given(st.integers(1, 256), st.integers(1, 4))
+    def test_product_invariant(self, n, nd):
+        dims = dims_create(n, nd)
+        prod = 1
+        for d in dims:
+            prod *= d
+        assert prod == n
+        assert dims == sorted(dims, reverse=True)
+
+    def test_invalid_args(self):
+        with pytest.raises(MpiError):
+            dims_create(0, 2)
+
+
+class TestCartTopology:
+    def test_coords_rank_round_trip(self):
+        t = CartTopology((3, 4), (False, True))
+        for r in range(t.size):
+            assert t.rank(t.coords(r)) == r
+
+    def test_row_major_layout(self):
+        t = CartTopology((2, 3), (False, False))
+        assert t.coords(0) == (0, 0)
+        assert t.coords(1) == (0, 1)
+        assert t.coords(3) == (1, 0)
+
+    def test_periodic_wrap(self):
+        t = CartTopology((4,), (True,))
+        assert t.rank((5,)) == 1
+        assert t.rank((-1,)) == 3
+
+    def test_aperiodic_out_of_range(self):
+        t = CartTopology((4,), (False,))
+        with pytest.raises(MpiError):
+            t.rank((4,))
+
+    def test_shift_interior(self):
+        t = CartTopology((4,), (False,))
+        src, dst = t.shift(rank=1, dim=0, disp=1)
+        assert (src, dst) == (0, 2)
+
+    def test_shift_boundary_aperiodic_gives_proc_null(self):
+        t = CartTopology((4,), (False,))
+        src, dst = t.shift(rank=0, dim=0, disp=1)
+        assert src is None
+        assert dst == 1
+
+    def test_shift_boundary_periodic_wraps(self):
+        t = CartTopology((4,), (True,))
+        src, dst = t.shift(rank=0, dim=0, disp=1)
+        assert (src, dst) == (3, 1)
+
+    def test_2d_shift(self):
+        t = CartTopology((3, 3), (False, True))
+        src, dst = t.shift(rank=4, dim=1, disp=1)  # center, periodic dim
+        assert (src, dst) == (3, 5)
+
+    def test_mismatched_periods(self):
+        with pytest.raises(MpiError):
+            CartTopology((2, 2), (True,))
+
+
+class TestGraphTopology:
+    def test_neighbors(self):
+        t = GraphTopology(((1,), (0, 2), (1,)))
+        assert t.size == 3
+        assert t.neighbors(1) == (0, 2)
+        with pytest.raises(MpiError):
+            t.neighbors(3)

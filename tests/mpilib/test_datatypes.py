@@ -1,0 +1,79 @@
+"""MPI datatypes: basic, derived, wire sizes, record-replay rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.mpilib import BYTE, DOUBLE, FLOAT, INT, LONG, contiguous, struct, vector
+from repro.mpilib.datatypes import rebuild, wire_size
+
+
+def test_basic_extents_match_c():
+    assert BYTE.extent == 1
+    assert INT.extent == 4
+    assert LONG.extent == 8
+    assert FLOAT.extent == 4
+    assert DOUBLE.extent == 8
+
+
+def test_basic_types_are_not_derived():
+    assert not DOUBLE.is_derived
+    assert DOUBLE.numpy() == np.dtype("f8")
+
+
+def test_nbytes():
+    assert DOUBLE.nbytes(100) == 800
+
+
+def test_contiguous():
+    t = contiguous(10, DOUBLE)
+    assert t.extent == 80
+    assert t.is_derived
+    with pytest.raises(ValueError):
+        contiguous(0, DOUBLE)
+
+
+def test_derived_has_no_numpy_mapping():
+    with pytest.raises(TypeError):
+        contiguous(2, INT).numpy()
+
+
+def test_vector_extent_spans_strides():
+    # 3 blocks of 2 ints strided 5 apart: extent covers (2*5+2)*4 bytes
+    t = vector(3, 2, 5, INT)
+    assert t.extent == (2 * 5 + 2) * 4
+    with pytest.raises(ValueError):
+        vector(3, 4, 2, INT)  # stride < blocklength
+
+
+def test_vector_wire_size_skips_holes():
+    t = vector(3, 2, 5, INT)
+    assert wire_size(t, 1) == 3 * 2 * 4
+    assert wire_size(t, 2) == 2 * 3 * 2 * 4
+
+
+def test_struct_extent_packs_fields():
+    t = struct([(2, INT), (1, DOUBLE)])
+    assert t.extent == 2 * 4 + 8
+    with pytest.raises(ValueError):
+        struct([])
+
+
+def test_wire_size_dense_default():
+    assert wire_size(DOUBLE, 10) == 80
+    assert wire_size(contiguous(4, INT), 2) == 32
+
+
+@pytest.mark.parametrize("make", [
+    lambda: contiguous(7, DOUBLE),
+    lambda: vector(4, 2, 3, INT),
+    lambda: struct([(1, INT), (3, FLOAT)]),
+])
+def test_rebuild_round_trips(make):
+    original = make()
+    clone = rebuild(original.recipe)
+    assert clone == original
+
+
+def test_rebuild_unknown_recipe():
+    with pytest.raises(ValueError):
+        rebuild(("mystery", 1))

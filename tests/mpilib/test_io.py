@@ -1,0 +1,130 @@
+"""MPI-IO substrate: SimFilesystem, MpiFile, endpoint.file_open."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.hardware.filesystem import FilesystemError, SimFile, SimFilesystem
+from repro.mpilib import MpiError, launch
+from repro.mpilib.io import IoError
+from repro.simtime import Engine
+
+
+class TestSimFile:
+    def test_write_read_round_trip(self):
+        f = SimFile("a")
+        f.write(10, b"hello")
+        assert f.read(10, 5) == b"hello"
+        assert f.size == 15
+
+    def test_holes_read_as_zeros(self):
+        f = SimFile("a")
+        f.write(4, b"xy")
+        assert f.read(0, 8) == b"\x00\x00\x00\x00xy\x00\x00"
+
+    def test_overlapping_reads(self):
+        f = SimFile("a")
+        f.write(0, b"abcd")
+        f.write(8, b"efgh")
+        assert f.read(2, 8) == b"cd\x00\x00\x00\x00ef"
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(FilesystemError):
+            SimFile("a").write(-1, b"x")
+
+    def test_checksum_changes_with_content(self):
+        f = SimFile("a")
+        f.write(0, b"abc")
+        c1 = f.checksum()
+        f.write(0, b"abd")
+        assert f.checksum() != c1
+
+
+class TestSimFilesystem:
+    def test_open_creates(self):
+        fs = SimFilesystem()
+        f = fs.open("/out/data.bin")
+        assert fs.exists("/out/data.bin")
+        assert fs.open("/out/data.bin") is f
+
+    def test_open_nocreate_missing(self):
+        with pytest.raises(FilesystemError):
+            SimFilesystem().open("/nope", create=False)
+
+    def test_listing(self):
+        fs = SimFilesystem()
+        fs.open("/b")
+        fs.open("/a")
+        assert fs.listing() == ["/a", "/b"]
+
+
+@pytest.fixture
+def world2():
+    engine = Engine()
+    cluster = make_cluster("io", 2, interconnect="aries")
+    return engine, launch(engine, cluster, 2, ranks_per_node=1), cluster
+
+
+class TestEndpointFileOps:
+    def test_file_open_is_collective(self, world2):
+        engine, world, cluster = world2
+        d0 = world.endpoints[0].file_open("/shared/out.dat")
+        engine.run()
+        assert not d0.done  # rank 1 has not opened yet
+        d1 = world.endpoints[1].file_open("/shared/out.dat")
+        engine.run()
+        f0, f1 = d0.value, d1.value
+        assert f0.file is f1.file       # same shared file
+        assert f0.handle != f1.handle   # distinct per-rank handles
+        assert cluster.fs.exists("/shared/out.dat")
+
+    def test_file_open_path_mismatch(self, world2):
+        engine, world, cluster = world2
+        world.endpoints[0].file_open("/a")
+        with pytest.raises(MpiError, match="mismatch"):
+            world.endpoints[1].file_open("/b")
+            engine.run()
+
+    def _open(self, world2):
+        engine, world, cluster = world2
+        dones = [ep.file_open("/f", "rw") for ep in world.endpoints]
+        engine.run()
+        return engine, cluster, [d.value for d in dones]
+
+    def test_write_at_and_read_at(self, world2):
+        engine, cluster, files = self._open(world2)
+        files[0].write_at(0, b"rank0-data")
+        engine.run()
+        r = files[1].read_at(0, 10)
+        engine.run()
+        assert r.value == b"rank0-data"
+
+    def test_write_at_takes_modeled_time(self, world2):
+        engine, cluster, files = self._open(world2)
+        t0 = engine.now
+        files[0].write_at(0, b"x", size=1 << 30)  # model a 1 GiB write
+        engine.run()
+        assert engine.now - t0 > 0.05
+
+    def test_write_at_all_synchronizes(self, world2):
+        engine, cluster, files = self._open(world2)
+        d0 = files[0].write_at_all(0, b"A" * 8)
+        engine.run()
+        assert not d0.done  # collective: waits for rank 1
+        d1 = files[1].write_at_all(8, b"B" * 8)
+        engine.run()
+        assert d0.done and d1.done
+        assert cluster.fs.open("/f").read(0, 16) == b"A" * 8 + b"B" * 8
+
+    def test_read_only_mode_enforced(self, world2):
+        engine, world, cluster = world2
+        dones = [ep.file_open("/ro", "r") for ep in world.endpoints]
+        engine.run()
+        with pytest.raises(IoError, match="read-only"):
+            dones[0].value.write_at(0, b"x")
+
+    def test_closed_handle_rejected(self, world2):
+        engine, cluster, files = self._open(world2)
+        files[0].close()
+        with pytest.raises(IoError, match="closed"):
+            files[0].write_at(0, b"x")

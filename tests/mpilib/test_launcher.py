@@ -1,0 +1,63 @@
+"""The mpiexec-equivalent launcher."""
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mpilib import launch
+from repro.mpilib.impls import get_implementation
+from repro.mpilib.launcher import init_time
+from repro.simtime import Engine
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("l", 4, interconnect="aries", default_mpi="craympich")
+
+
+def test_default_mpi_is_cluster_recommendation(cluster):
+    world = launch(Engine(), cluster, 4, ranks_per_node=1)
+    assert world.impl.name == "craympich"
+
+
+def test_explicit_mpi_override(cluster):
+    world = launch(Engine(), cluster, 4, ranks_per_node=1, mpi="openmpi")
+    assert world.impl.name == "openmpi"
+
+
+def test_unknown_mpi_raises(cluster):
+    with pytest.raises(ValueError, match="unknown MPI implementation"):
+        launch(Engine(), cluster, 4, ranks_per_node=1, mpi="lam")
+
+
+def test_each_launch_gets_fresh_impl_instance(cluster):
+    w1 = launch(Engine(), cluster, 2, ranks_per_node=1)
+    w2 = launch(Engine(), cluster, 2, ranks_per_node=1)
+    assert w1.impl is not w2.impl
+    # fresh handle counters: same values minted in the same order
+    assert w1.endpoints[0].comm_world.handle == w2.endpoints[0].comm_world.handle
+
+
+def test_explicit_placement(cluster):
+    world = launch(Engine(), cluster, 4, placement=[3, 3, 0, 0])
+    assert world.placement == [3, 3, 0, 0]
+    assert world.node_of(0) == 3
+
+
+def test_placement_length_mismatch(cluster):
+    with pytest.raises(ValueError, match="placement covers"):
+        launch(Engine(), cluster, 4, placement=[0, 1])
+
+
+def test_init_time_grows_logarithmically():
+    impl = get_implementation("mpich")
+    t2 = init_time(impl, 2)
+    t2048 = init_time(impl, 2048)
+    assert t2 < t2048 < 3 * t2
+
+
+def test_world_size_and_endpoints(cluster):
+    world = launch(Engine(), cluster, 8, ranks_per_node=2)
+    assert world.size == 8
+    assert len(world.endpoints) == 8
+    assert [ep.rank for ep in world.endpoints] == list(range(8))
+    assert world.fabric.name == "aries"

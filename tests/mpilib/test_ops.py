@@ -1,0 +1,83 @@
+"""Reduction operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.mpilib import BAND, BOR, LAND, LOR, MAX, MAXLOC, MIN, MINLOC, PROD, SUM
+
+
+def test_sum_arrays():
+    out = SUM.reduce_all([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+    assert np.array_equal(out, [4.0, 6.0])
+
+
+def test_prod_scalar():
+    assert PROD.reduce_all([2, 3, 4]) == 24
+
+
+def test_max_min():
+    vals = [np.array([1, 9]), np.array([5, 2])]
+    assert np.array_equal(MAX.reduce_all(vals), [5, 9])
+    assert np.array_equal(MIN.reduce_all(vals), [1, 2])
+
+
+def test_logical_ops():
+    assert LAND.reduce_all([1, 1, 0]) == False  # noqa: E712
+    assert LOR.reduce_all([0, 0, 1]) == True    # noqa: E712
+
+
+def test_bitwise_ops():
+    assert BAND.reduce_all([0b1100, 0b1010]) == 0b1000
+    assert BOR.reduce_all([0b1100, 0b1010]) == 0b1110
+
+
+def test_maxloc_picks_value_and_lowest_index():
+    pairs = [np.array([[3.0, 0.0]]), np.array([[7.0, 1.0]]), np.array([[7.0, 2.0]])]
+    out = MAXLOC.reduce_all(pairs)
+    assert out[0, 0] == 7.0
+    assert out[0, 1] == 1.0  # ties broken by lowest rank index
+
+
+def test_minloc():
+    pairs = [np.array([[3.0, 0.0]]), np.array([[1.0, 1.0]]), np.array([[1.0, 2.0]])]
+    out = MINLOC.reduce_all(pairs)
+    assert out[0, 0] == 1.0
+    assert out[0, 1] == 1.0
+
+
+def test_empty_reduce_raises():
+    with pytest.raises(ValueError):
+        SUM.reduce_all([])
+
+
+def test_reduce_does_not_mutate_inputs():
+    a = np.array([1.0, 2.0])
+    b = np.array([3.0, 4.0])
+    SUM.reduce_all([a, b])
+    assert np.array_equal(a, [1.0, 2.0])
+    assert np.array_equal(b, [3.0, 4.0])
+
+
+@given(
+    contributions=st.lists(
+        arrays(np.float64, 4, elements=st.floats(-1e6, 1e6)), min_size=1, max_size=8
+    )
+)
+def test_sum_matches_numpy(contributions):
+    out = SUM.reduce_all(contributions)
+    expected = np.sum(np.stack(contributions), axis=0)
+    assert np.allclose(out, expected)
+
+
+@given(
+    contributions=st.lists(
+        arrays(np.int64, 3, elements=st.integers(-1000, 1000)), min_size=1, max_size=8
+    )
+)
+def test_max_is_order_independent(contributions):
+    fwd = MAX.reduce_all(contributions)
+    rev = MAX.reduce_all(list(reversed(contributions)))
+    assert np.array_equal(fwd, rev)

@@ -1,0 +1,128 @@
+"""Edge cases of the p2p engine and the wire model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mpilib import MpiError, launch
+from repro.simtime import Engine
+
+
+def make_world(n_ranks=2, n_nodes=2, mpi="mpich", interconnect="tcp"):
+    engine = Engine()
+    cluster = make_cluster("e", n_nodes, interconnect=interconnect)
+    world = launch(engine, cluster, n_ranks,
+                   ranks_per_node=-(-n_ranks // n_nodes), mpi=mpi)
+    return engine, world
+
+
+def test_wire_serialization_back_to_back():
+    """Two large messages on one channel arrive at least one wire-occupancy
+    apart (the link is a serial resource)."""
+    engine, world = make_world(mpi="intelmpi")  # 32 KiB eager threshold
+    size = 16 << 10
+    arrivals = []
+    for _ in range(2):
+        world.endpoints[0].send(1, np.zeros(4), size=size)
+    for _ in range(2):
+        r = world.endpoints[1].recv(source=0)
+        r.on_done(lambda v: arrivals.append(engine.now))
+    engine.run()
+    assert len(arrivals) == 2
+    assert arrivals[1] - arrivals[0] >= size / world.fabric.beta * 0.99
+
+
+def test_many_unexpected_messages_matched_in_order():
+    engine, world = make_world()
+    for i in range(20):
+        world.endpoints[0].send(1, np.array([float(i)]), tag=4)
+    engine.run()
+    values = []
+    for _ in range(20):
+        r = world.endpoints[1].recv(source=0, tag=4)
+        r.on_done(lambda v: values.append(float(v[0][0])))
+    engine.run()
+    assert values == [float(i) for i in range(20)]
+
+
+def test_interleaved_tags_from_same_source():
+    engine, world = make_world()
+    for i in range(6):
+        world.endpoints[0].send(1, np.array([float(i)]), tag=i % 2)
+    odd = [world.endpoints[1].recv(source=0, tag=1) for _ in range(3)]
+    even = [world.endpoints[1].recv(source=0, tag=0) for _ in range(3)]
+    engine.run()
+    assert [float(r.value[0][0]) for r in odd] == [1.0, 3.0, 5.0]
+    assert [float(r.value[0][0]) for r in even] == [0.0, 2.0, 4.0]
+
+
+def test_rendezvous_multiple_pending_same_pair():
+    """Several rendezvous sends queued to one receiver complete in order."""
+    engine, world = make_world(mpi="mpich")
+    sends = [world.endpoints[0].send(1, np.array([float(i)]), size=1 << 20)
+             for i in range(3)]
+    engine.run()
+    assert not any(s.done for s in sends)
+    got = []
+    for _ in range(3):
+        r = world.endpoints[1].recv(source=0)
+        r.on_done(lambda v: got.append(float(v[0][0])))
+    engine.run()
+    assert got == [0.0, 1.0, 2.0]
+    assert all(s.done for s in sends)
+
+
+def test_recv_any_source_multiple_senders():
+    engine, world = make_world(n_ranks=4, n_nodes=4)
+    for src in (1, 2, 3):
+        world.endpoints[src].send(0, np.array([float(src)]), tag=7)
+    results = [world.endpoints[0].recv(tag=7) for _ in range(3)]
+    engine.run()
+    sources = sorted(r.value[1].source for r in results)
+    assert sources == [1, 2, 3]
+
+
+def test_send_to_self_rendezvous():
+    engine, world = make_world(n_ranks=1, n_nodes=1)
+    send = world.endpoints[0].send(0, np.zeros(4), size=1 << 20)
+    recv = world.endpoints[0].recv(source=0)
+    engine.run()
+    assert send.done and recv.done
+
+
+def test_mixed_eager_rendezvous_ordering_same_channel():
+    """A small eager message sent after a big rendezvous one must not be
+    matched first when both match the same recv (non-overtaking)."""
+    engine, world = make_world(mpi="mpich")
+    world.endpoints[0].send(1, np.array([1.0]), tag=0, size=1 << 20)  # rdv
+    world.endpoints[0].send(1, np.array([2.0]), tag=0, size=8)        # eager
+    r1 = world.endpoints[1].recv(source=0, tag=0)
+    r2 = world.endpoints[1].recv(source=0, tag=0)
+    engine.run()
+    assert float(r1.value[0][0]) == 1.0
+    assert float(r2.value[0][0]) == 2.0
+
+
+def test_communicator_isolation_of_matching():
+    """Messages on a duplicated communicator never match world receives."""
+    engine, world = make_world(n_ranks=2, n_nodes=2)
+    dones = [ep.comm_dup() for ep in world.endpoints]
+    engine.run()
+    dup0, dup1 = dones[0].value, dones[1].value
+    world.endpoints[0].send(1, np.array([9.0]), tag=3, comm=dup0)
+    world_recv = world.endpoints[1].recv(source=0, tag=3)  # COMM_WORLD
+    engine.run()
+    assert not world_recv.done
+    dup_recv = world.endpoints[1].recv(source=0, tag=3, comm=dup1)
+    engine.run()
+    assert dup_recv.done
+
+
+def test_validate_rank_on_derived_comm():
+    engine, world = make_world(n_ranks=4, n_nodes=4)
+    dones = [ep.comm_split(color=ep.rank % 2, key=ep.rank)
+             for ep in world.endpoints]
+    engine.run()
+    sub = dones[0].value  # ranks {0, 2}, size 2
+    with pytest.raises(MpiError):
+        world.endpoints[0].send(2, np.ones(1), comm=sub)

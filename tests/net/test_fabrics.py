@@ -1,0 +1,98 @@
+"""Interconnect timing, in-flight tracking, and driver memory footprints."""
+
+import pytest
+
+from repro.memory.region import RegionKind
+from repro.net import INTERCONNECTS, make_interconnect
+from repro.net.fabrics import MB, AriesInterconnect, ShmemTransport, TcpInterconnect
+from repro.simtime import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def test_registry_contains_all_fabrics():
+    assert set(INTERCONNECTS) == {"aries", "infiniband", "omnipath", "tcp", "shmem"}
+
+
+def test_make_interconnect_unknown_name(engine):
+    with pytest.raises(ValueError, match="unknown interconnect"):
+        make_interconnect("myrinet", engine)
+
+
+def test_transfer_time_alpha_beta(engine):
+    net = make_interconnect("tcp", engine)
+    assert net.transfer_time(0) == pytest.approx(net.alpha)
+    big = net.transfer_time(12_000_000)
+    assert big == pytest.approx(net.alpha + 12_000_000 / net.beta)
+
+
+def test_fabric_ordering_small_messages(engine):
+    """Aries < InfiniBand < TCP on latency, as on the real hardware."""
+    aries = make_interconnect("aries", engine)
+    ib = make_interconnect("infiniband", engine)
+    tcp = make_interconnect("tcp", engine)
+    for size in (0, 8, 1024):
+        assert aries.transfer_time(size) < ib.transfer_time(size) < tcp.transfer_time(size)
+
+
+def test_transmit_delivers_at_model_time(engine):
+    net = make_interconnect("aries", engine)
+    msg, done = net.transmit(0, 1, size=1 << 20, payload=b"x")
+    assert net.in_flight_count == 1
+    assert net.in_flight_bytes == 1 << 20
+    engine.run()
+    assert done.done
+    assert done.value is msg
+    assert engine.now == pytest.approx(net.transfer_time(1 << 20))
+    assert net.in_flight_count == 0
+
+
+def test_transmit_statistics(engine):
+    net = make_interconnect("tcp", engine)
+    net.transmit(0, 1, size=100)
+    net.transmit(1, 0, size=200)
+    assert net.messages_sent == 2
+    assert net.bytes_sent == 300
+
+
+def test_in_flight_ordering_preserved_per_size(engine):
+    net = make_interconnect("tcp", engine)
+    arrivals = []
+    _, d1 = net.transmit(0, 1, size=10)
+    _, d2 = net.transmit(0, 1, size=10)
+    d1.on_done(lambda m: arrivals.append("first"))
+    d2.on_done(lambda m: arrivals.append("second"))
+    engine.run()
+    assert arrivals == ["first", "second"]
+
+
+class TestDriverRegions:
+    def test_aries_shmem_growth_matches_paper(self, engine):
+        """§3.2.2: ~2 MB at 2 nodes growing to ~40 MB at 64 nodes."""
+        net = AriesInterconnect(engine)
+
+        def shmem(n):
+            return next(r.size for r in net.driver_regions(n, 32)
+                        if r.kind is RegionKind.SHMEM)
+
+        assert shmem(2) == pytest.approx(2 * MB, rel=0.3)
+        assert shmem(64) == pytest.approx(40 * MB, rel=0.1)
+        assert shmem(64) > shmem(16) > shmem(4)
+
+    def test_shmem_transport_scales_with_ranks_per_node(self, engine):
+        net = ShmemTransport(engine)
+        small = net.driver_regions(1, 2)[0].size
+        large = net.driver_regions(1, 32)[0].size
+        assert large == 16 * small
+
+    def test_tcp_has_no_pinned_memory(self, engine):
+        kinds = {r.kind for r in TcpInterconnect(engine).driver_regions(4, 32)}
+        assert RegionKind.PINNED not in kinds
+
+    def test_infiniband_has_pinned_memory(self, engine):
+        net = make_interconnect("infiniband", engine)
+        kinds = {r.kind for r in net.driver_regions(4, 32)}
+        assert RegionKind.PINNED in kinds

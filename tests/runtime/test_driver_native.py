@@ -1,0 +1,242 @@
+"""RankDriver scheduling and native job runs."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mpilib import SUM, launch
+from repro.mprog import Call, Compute, Interpreter, Loop, Program, ProgramState, Seq, While
+from repro.runtime import DriverError, NativeApi, NativeJob, RankDriver, run_native
+from repro.simtime import Engine
+
+
+def ring_program(n_steps=3):
+    """Each rank sends its value around a ring and accumulates."""
+
+    def init(s):
+        s["acc"] = float(s["rank"])
+        s["val"] = float(s["rank"])
+
+    def do_send(s, api):
+        dest = (s["rank"] + 1) % s["size"]
+        return api.send(dest, np.array([s["val"]]), tag=7)
+
+    def do_recv(s, api):
+        src = (s["rank"] - 1) % s["size"]
+        return api.recv(source=src, tag=7)
+
+    def absorb(s):
+        data, _status = s["got"]
+        s["val"] = float(data[0])
+        s["acc"] += s["val"]
+
+    return Program(
+        Seq(
+            Compute(init),
+            Loop(n_steps, Seq(
+                Call(do_send),
+                Call(do_recv, store="got"),
+                Compute(absorb),
+            )),
+        ),
+        name="ring",
+    )
+
+
+def allreduce_program(n_iters=4):
+    def init(s):
+        s["x"] = np.array([float(s["rank"] + 1)])
+        s["history"] = []
+
+    def do_allreduce(s, api):
+        return api.allreduce(s["x"], SUM)
+
+    def absorb(s):
+        s["history"].append(float(s["sum"][0]))
+
+    return Program(
+        Seq(
+            Compute(init),
+            Loop(n_iters, Seq(Call(do_allreduce, store="sum"), Compute(absorb))),
+        ),
+        name="allreduce",
+    )
+
+
+def test_native_ring_results():
+    cluster = make_cluster("t", 4, interconnect="aries")
+    job = run_native(cluster, lambda r, n: ring_program(3), n_ranks=4,
+                     ranks_per_node=1)
+    # After 3 hops each rank accumulated the 3 upstream values.
+    for r, state in enumerate(job.states):
+        expected = r + sum((r - k) % 4 for k in range(1, 4))
+        assert state["acc"] == expected
+
+
+def test_native_allreduce_results():
+    cluster = make_cluster("t", 2, interconnect="tcp")
+    job = run_native(cluster, lambda r, n: allreduce_program(2), n_ranks=4,
+                     ranks_per_node=2)
+    for state in job.states:
+        assert state["history"] == [10.0, 10.0]
+
+
+def test_compute_cost_advances_clock():
+    engine = Engine()
+    cluster = make_cluster("t", 1)
+    world = launch(engine, cluster, 1)
+    prog = Program(Seq(Compute(lambda s: None, cost=2.5),
+                       Compute(lambda s: None, cost=1.5)))
+    job = NativeJob(engine, world, [prog])
+    elapsed = job.run_to_completion()
+    assert elapsed == pytest.approx(4.0)
+
+
+def test_core_speed_scales_compute():
+    def elapsed(speed):
+        engine = Engine()
+        cluster = make_cluster("t", 1, core_speed=speed)
+        world = launch(engine, cluster, 1)
+        prog = Program(Compute(lambda s: None, cost=4.0))
+        return NativeJob(engine, world, [prog]).run_to_completion()
+
+    assert elapsed(2.0) == pytest.approx(elapsed(1.0) / 2)
+
+
+def test_compute_only_while_loop_does_not_starve():
+    engine = Engine()
+    cluster = make_cluster("t", 1)
+    world = launch(engine, cluster, 1)
+
+    def bump(s):
+        s["n"] = s.get("n", 0) + 1
+
+    prog = Program(Seq(
+        Compute(lambda s: s.__setitem__("n", 0)),
+        While(lambda s: s["n"] < 25_000, Compute(bump)),
+    ))
+    job = NativeJob(engine, world, [prog])
+    job.run_to_completion()
+    assert job.states[0]["n"] == 25_000
+
+
+def test_driver_double_start_raises():
+    engine = Engine()
+    cluster = make_cluster("t", 1)
+    world = launch(engine, cluster, 1)
+    prog = Program(Compute(lambda s: None))
+    job = NativeJob(engine, world, [prog])
+    job.start()
+    with pytest.raises(DriverError):
+        job.drivers[0].start()
+
+
+def test_bad_call_return_type_detected():
+    engine = Engine()
+    cluster = make_cluster("t", 1)
+    world = launch(engine, cluster, 1)
+    prog = Program(Call(lambda s, api: 42))
+    job = NativeJob(engine, world, [prog])
+    job.start()
+    with pytest.raises(DriverError, match="expected a Completion"):
+        engine.run()
+
+
+def test_program_count_mismatch():
+    engine = Engine()
+    cluster = make_cluster("t", 2)
+    world = launch(engine, cluster, 2, ranks_per_node=1)
+    with pytest.raises(ValueError):
+        NativeJob(engine, world, [Program(Compute(lambda s: None))])
+
+
+def test_incomplete_job_reports_stuck_ranks():
+    engine = Engine()
+    cluster = make_cluster("t", 2)
+    world = launch(engine, cluster, 2, ranks_per_node=1)
+    # rank 0 waits for a message that never comes; rank 1 finishes.
+    progs = [
+        Program(Call(lambda s, api: api.recv(source=1, tag=9), label="stuck")),
+        Program(Compute(lambda s: None)),
+    ]
+    job = NativeJob(engine, world, progs)
+    with pytest.raises(RuntimeError, match="did not finish"):
+        job.run_to_completion()
+
+
+class TestQuiesceResume:
+    def _job(self):
+        engine = Engine()
+        cluster = make_cluster("t", 1)
+        world = launch(engine, cluster, 1)
+        prog = Program(Loop(10, Seq(
+            Compute(lambda s: s.__setitem__("n", s.get("n", 0) + 1), cost=1.0),
+            Call(lambda s, api: api.barrier()),
+        )))
+        job = NativeJob(engine, world, [prog])
+        return engine, job
+
+    def test_quiesce_freezes_at_boundary(self):
+        engine, job = self._job()
+        job.start()
+        engine.run(until=3.5)
+        driver = job.drivers[0]
+        driver.quiesce()
+        engine.run()
+        assert not driver.finished.done
+        assert driver.parked_at in ("quiesce", "call")
+        n_at_freeze = job.states[0]["n"]
+        engine.run()  # no progress while quiesced
+        assert job.states[0]["n"] == n_at_freeze
+
+    def test_resume_completes(self):
+        engine, job = self._job()
+        job.start()
+        engine.run(until=3.5)
+        driver = job.drivers[0]
+        driver.quiesce()
+        engine.run()
+        driver.resume()
+        engine.run()
+        assert driver.finished.done
+        assert job.states[0]["n"] == 10
+
+    def test_resume_without_quiesce_is_noop(self):
+        engine, job = self._job()
+        job.start()
+        job.drivers[0].resume()
+        engine.run()
+        assert job.drivers[0].finished.done
+
+
+def test_call_gate_parks_and_release_continues():
+    engine = Engine()
+    cluster = make_cluster("t", 1)
+    world = launch(engine, cluster, 1)
+    prog = Program(Seq(
+        Call(lambda s, api: api.barrier(), label="gated"),
+        Compute(lambda s: s.__setitem__("done", True)),
+    ))
+    job = NativeJob(engine, world, [prog])
+    driver = job.drivers[0]
+    gated = []
+    driver.call_gate = lambda action: (gated.append(action.node.label), False)[1]
+    job.start()
+    engine.run()
+    assert driver.parked_at == "gate"
+    assert gated == ["gated"]
+    driver.call_gate = None
+    driver.release()
+    engine.run()
+    assert driver.finished.done
+    assert job.states[0]["done"] is True
+
+
+def test_finished_job_wall_time_includes_mpi_latency():
+    cluster = make_cluster("t", 2, interconnect="tcp")
+    engine = Engine()
+    world = launch(engine, cluster, 2, ranks_per_node=1)
+    progs = [Program(Call(lambda s, api: api.barrier())) for _ in range(2)]
+    job = NativeJob(engine, world, progs)
+    elapsed = job.run_to_completion()
+    assert elapsed > 0

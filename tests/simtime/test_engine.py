@@ -1,0 +1,229 @@
+"""Unit tests for the discrete-event kernel."""
+
+import math
+
+import pytest
+
+from repro.simtime import Completion, Engine, SimulationError
+from repro.simtime.engine import all_of
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_call_after_advances_clock():
+    eng = Engine()
+    seen = []
+    eng.call_after(1.5, seen.append, "a")
+    eng.run()
+    assert seen == ["a"]
+    assert eng.now == 1.5
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    seen = []
+    eng.call_after(2.0, seen.append, "late")
+    eng.call_after(1.0, seen.append, "early")
+    eng.run()
+    assert seen == ["early", "late"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    eng = Engine()
+    seen = []
+    for i in range(10):
+        eng.call_at(1.0, seen.append, i)
+    eng.run()
+    assert seen == list(range(10))
+
+
+def test_priority_breaks_ties_before_sequence():
+    eng = Engine()
+    seen = []
+    eng.call_at(1.0, seen.append, "normal", priority=0)
+    eng.call_at(1.0, seen.append, "urgent", priority=-1)
+    eng.run()
+    assert seen == ["urgent", "normal"]
+
+
+def test_cannot_schedule_in_past():
+    eng = Engine(start_time=10.0)
+    with pytest.raises(SimulationError):
+        eng.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.call_after(-1.0, lambda: None)
+
+
+def test_nan_time_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.call_at(math.nan, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    eng = Engine()
+    seen = []
+    h = eng.call_after(1.0, seen.append, "x")
+    h.cancel()
+    assert h.cancelled
+    eng.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    eng = Engine()
+    h = eng.call_after(1.0, lambda: None)
+    h.cancel()
+    h.cancel()
+    assert eng.pending_events == 0
+
+
+def test_run_until_stops_clock_exactly():
+    eng = Engine()
+    seen = []
+    eng.call_after(1.0, seen.append, 1)
+    eng.call_after(3.0, seen.append, 3)
+    t = eng.run(until=2.0)
+    assert t == 2.0
+    assert seen == [1]
+    # the 3.0 event survives and fires on the next run
+    eng.run()
+    assert seen == [1, 3]
+
+
+def test_run_until_includes_boundary_event():
+    eng = Engine()
+    seen = []
+    eng.call_after(2.0, seen.append, "edge")
+    eng.run(until=2.0)
+    assert seen == ["edge"]
+
+
+def test_events_can_schedule_events():
+    eng = Engine()
+    seen = []
+
+    def first():
+        seen.append(("first", eng.now))
+        eng.call_after(1.0, second)
+
+    def second():
+        seen.append(("second", eng.now))
+
+    eng.call_after(1.0, first)
+    eng.run()
+    assert seen == [("first", 1.0), ("second", 2.0)]
+
+
+def test_max_events_guards_livelock():
+    eng = Engine()
+
+    def rearm():
+        eng.call_after(0.0, rearm)
+
+    eng.call_after(0.0, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        eng.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    assert Engine().step() is False
+
+
+def test_pending_events_counts_live_only():
+    eng = Engine()
+    eng.call_after(1.0, lambda: None)
+    h = eng.call_after(2.0, lambda: None)
+    h.cancel()
+    assert eng.pending_events == 1
+
+
+class TestCompletion:
+    def test_resolve_fires_callbacks_in_order(self):
+        eng = Engine()
+        c = Completion(eng)
+        seen = []
+        c.on_done(lambda v: seen.append(("a", v)))
+        c.on_done(lambda v: seen.append(("b", v)))
+        c.resolve(42)
+        assert seen == [("a", 42), ("b", 42)]
+
+    def test_late_callback_fires_immediately(self):
+        eng = Engine()
+        c = Completion(eng)
+        c.resolve("v")
+        seen = []
+        c.on_done(seen.append)
+        assert seen == ["v"]
+
+    def test_double_resolve_raises(self):
+        c = Completion(Engine())
+        c.resolve(1)
+        with pytest.raises(SimulationError):
+            c.resolve(2)
+
+    def test_value_before_done_raises(self):
+        c = Completion(Engine())
+        with pytest.raises(SimulationError):
+            _ = c.value
+
+    def test_resolve_after_uses_virtual_time(self):
+        eng = Engine()
+        c = Completion(eng)
+        times = []
+        c.on_done(lambda v: times.append(eng.now))
+        c.resolve_after(2.5, "x")
+        eng.run()
+        assert times == [2.5]
+        assert c.value == "x"
+
+    def test_cancelled_completion_ignores_resolution(self):
+        eng = Engine()
+        c = Completion(eng)
+        seen = []
+        c.on_done(seen.append)
+        c.cancel()
+        c.resolve("late")  # no-op, no raise
+        assert seen == []
+        assert not c.done
+
+    def test_all_of_collects_values_in_input_order(self):
+        eng = Engine()
+        cs = [Completion(eng) for _ in range(3)]
+        combined = all_of(eng, cs)
+        cs[2].resolve("c")
+        cs[0].resolve("a")
+        assert not combined.done
+        cs[1].resolve("b")
+        assert combined.done
+        assert combined.value == ["a", "b", "c"]
+
+    def test_all_of_empty_resolves_immediately(self):
+        eng = Engine()
+        assert all_of(eng, []).done
+
+
+def test_trace_records_labels():
+    eng = Engine()
+    eng.trace = []
+    eng.call_after(1.0, lambda: None, label="tick")
+    eng.run()
+    assert eng.trace == [(1.0, "tick")]
+
+
+def test_determinism_of_interleaved_schedules():
+    def build():
+        eng = Engine()
+        order = []
+        for i in range(50):
+            eng.call_after((i * 7919) % 13 * 0.1, order.append, i)
+        eng.run()
+        return order
+
+    assert build() == build()

@@ -1,0 +1,41 @@
+"""RNG stream determinism and independence."""
+
+import numpy as np
+
+from repro.simtime import RngStreams
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(7).stream("lustre").random(10)
+    b = RngStreams(7).stream("lustre").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_give_independent_streams():
+    streams = RngStreams(7)
+    a = streams.stream("lustre").random(10)
+    b = streams.stream("net").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_identity_does_not_depend_on_creation_order():
+    s1 = RngStreams(3)
+    s1.stream("aaa")
+    first_order = s1.stream("zzz").random(5)
+
+    s2 = RngStreams(3)
+    reversed_order = s2.stream("zzz").random(5)
+    assert np.array_equal(first_order, reversed_order)
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_fork_changes_streams_deterministically():
+    base = RngStreams(5)
+    f1 = base.fork("restart-1").stream("lustre").random(4)
+    f2 = RngStreams(5).fork("restart-1").stream("lustre").random(4)
+    assert np.array_equal(f1, f2)
+    assert not np.array_equal(f1, RngStreams(5).stream("lustre").random(4))

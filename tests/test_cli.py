@@ -1,0 +1,102 @@
+"""The command-line interface, end to end (in-process)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_apps_lists_the_five():
+    code, text = run_cli("apps")
+    assert code == 0
+    for app in ("gromacs", "minife", "hpcg", "clamr", "lulesh"):
+        assert app in text
+
+
+def test_run_native():
+    code, text = run_cli("run", "--app", "gromacs", "--ranks", "4",
+                         "--nodes", "1", "--steps", "3", "--native")
+    assert code == 0
+    assert "native run: 4 ranks" in text
+
+
+def test_run_mana():
+    code, text = run_cli("run", "--app", "lulesh", "--ranks", "8",
+                         "--nodes", "2", "--steps", "3")
+    assert code == 0
+    assert "MANA run: 8 ranks" in text
+
+
+def test_run_adjusts_lulesh_ranks():
+    code, text = run_cli("run", "--app", "lulesh", "--ranks", "10",
+                         "--nodes", "2", "--steps", "2", "--native")
+    assert code == 0
+    assert "running 8 ranks" in text
+
+
+def test_run_checkpoint_save_inspect_restart(tmp_path):
+    ckpt_dir = str(tmp_path / "ckpt")
+    code, text = run_cli(
+        "run", "--app", "gromacs", "--ranks", "4", "--nodes", "2",
+        "--steps", "6", "--checkpoint-at", "0.001", "--out", ckpt_dir,
+    )
+    assert code == 0
+    assert "checkpoint at t=0.001" in text
+    assert "saved to" in text
+
+    code, text = run_cli("inspect", "--ckpt", ckpt_dir)
+    assert code == 0
+    info = json.loads(text)
+    assert info["n_ranks"] == 4
+
+    code, text = run_cli(
+        "restart", "--ckpt", ckpt_dir, "--app", "gromacs", "--steps", "6",
+        "--nodes", "4", "--net", "tcp", "--mpi", "openmpi",
+        "--ranks-per-node", "1",
+    )
+    assert code == 0
+    assert "restarted 4 ranks" in text
+    assert "openmpi/tcp" in text
+
+
+def test_verify_two_phase():
+    code, text = run_cli("verify", "--ranks", "2", "--iters", "1")
+    assert code == 0
+    assert "OK" in text
+
+
+def test_verify_naive_finds_violation():
+    code, text = run_cli("verify", "--ranks", "2", "--iters", "1", "--naive")
+    assert code == 0  # expected failure found => exit 0
+    assert "no-rank-in-phase2-at-ckpt" in text
+    assert "counterexample" in text
+
+
+def test_bench_mem():
+    code, text = run_cli("bench", "--figure", "mem")
+    assert code == 0
+    assert "26.000" in text
+
+
+def test_bench_fig9():
+    code, text = run_cli("bench", "--figure", "fig9")
+    assert code == 0
+    assert "OpenMPI/IB (2x4)" in text
+
+
+def test_unknown_app_errors():
+    with pytest.raises(ValueError):
+        run_cli("run", "--app", "namd", "--native")
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        run_cli("frobnicate")
