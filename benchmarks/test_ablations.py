@@ -13,7 +13,6 @@ import numpy as np
 
 from benchmarks.conftest import run_once
 from repro.apps import get_app
-from repro.harness.experiments import _launch_mana_app
 from repro.harness.results import Table
 from repro.hardware.cluster import cori, make_cluster
 from repro.mana.job import launch_mana

@@ -1,0 +1,23 @@
+"""Resilience: efficiency vs. checkpoint interval under node failures.
+
+Not a figure of the paper, but the experiment its checkpointing exists
+for: sweep the checkpoint interval around the Young/Daly period under
+exponential node failures and confirm the efficiency curve peaks near
+the optimum — too-frequent checkpointing pays protocol overhead,
+too-rare pays lost work.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import resilience_efficiency_sweep
+
+
+def test_resilience_efficiency(benchmark, record_table):
+    table = run_once(benchmark, resilience_efficiency_sweep)
+    record_table(table, "resilience_efficiency")
+    eff = dict(zip(table.column("interval/YD"), table.column("efficiency")))
+    near_optimal = max(eff[0.5], eff[1.0], eff[2.0])
+    # the Young/Daly region beats both extremes of the sweep
+    assert near_optimal > eff[0.25]
+    assert near_optimal > eff[4.0]
+    # and the whole curve reflects real progress, not thrashing
+    assert all(0.0 < e <= 1.0 for e in eff.values())

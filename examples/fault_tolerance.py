@@ -1,8 +1,11 @@
 #!/usr/bin/env python
-"""The production loop MANA exists for: periodic checkpoints to stable
-storage, a node failure, recovery on replacement hardware — with the
-application also writing results to a shared parallel filesystem through
-MPI-IO (open files restored across the restart).
+"""The production loop MANA exists for — now fully automated by
+``repro.faults``: periodic checkpoints to stable storage, node failures
+injected mid-compute *and* mid-checkpoint-protocol, heartbeat detection,
+re-planning onto a spare cluster (different MPI, different fabric), and
+restart from the newest checkpoint — while the application writes results
+to a shared parallel filesystem through MPI-IO.  The final output file is
+verified byte-for-byte against an uninterrupted reference run.
 
 Run:  python examples/fault_tolerance.py
 """
@@ -11,10 +14,11 @@ import tempfile
 
 import numpy as np
 
+from repro.faults import NodeCrashAt, run_resilient
 from repro.hardware.cluster import make_cluster
 from repro.hardware.filesystem import SimFilesystem
-from repro.mana import launch_mana, load_checkpoint, restart
-from repro.mana.autockpt import run_with_periodic_checkpoints, young_daly_interval
+from repro.mana import launch_mana
+from repro.mana.autockpt import young_daly_interval
 from repro.mpilib import SUM
 from repro.mprog import Call, Compute, Loop, Program, Seq
 from repro.simtime import Completion
@@ -58,45 +62,75 @@ def make_program(rank, size):
     ), name="solver")
 
 
-def main() -> None:
-    shared_fs = SimFilesystem("site-lustre")
-    prod = make_cluster("prod", 4, interconnect="aries", fs=shared_fs,
+def make_site(tag):
+    """A production cluster + spare partition mounting one shared Lustre."""
+    fs = SimFilesystem(f"site-lustre-{tag}")
+    prod = make_cluster(f"prod-{tag}", 4, interconnect="aries", fs=fs,
                         default_mpi="craympich")
+    spare = make_cluster(f"spare-{tag}", 8, interconnect="infiniband", fs=fs,
+                         default_mpi="openmpi")
+    return fs, prod, spare
 
-    # Pick the checkpoint period from the Young/Daly formula.
-    interval = young_daly_interval(mtbf_seconds=40.0, ckpt_cost_seconds=0.5)
-    print(f"Young/Daly period for MTBF=40s, C=0.5s: {interval:.1f} s")
 
-    with tempfile.TemporaryDirectory() as stable_storage:
-        job = launch_mana(prod, make_program, n_ranks=8, ranks_per_node=2).start()
-        # Drive with periodic checkpoints until a node fails at t=10.5 s.
-        run = run_with_periodic_checkpoints(job, interval=interval,
-                                            out_dir=stable_storage, keep=2,
-                                            until=10.5)
-        assert not run.completed, "the failure should interrupt the run"
-        print(f"node failure at t=10.5 s! job lost mid-run "
-              f"(~step {job.states[0].get('step', '?')} of 16); "
-              f"last checkpoint: {run.latest_dir.name}, "
-              f"{len(run.reports)} checkpoints taken "
-              f"({run.checkpoint_overhead:.2f} s total overhead)")
-        ckpt = load_checkpoint(run.latest_dir)
-        del job  # the crashed world
-
-        # Recover on the spare partition: different MPI, different fabric.
-        spare = make_cluster("spare", 8, interconnect="infiniband",
-                             fs=shared_fs, default_mpi="openmpi")
-        recovered = restart(ckpt, spare, make_program, ranks_per_node=1)
-        recovered.run_to_completion()
-        print(f"recovered on {spare.name} "
-              f"({recovered.world.impl.name}/{recovered.world.fabric.name}); "
-              f"run completed at t={recovered.engine.now:.2f} s")
-
-    # Verify the output file against an uninterrupted reference run.
-    ref_fs = SimFilesystem()
+def main() -> None:
+    # Uninterrupted reference: gives both the expected output file and the
+    # useful-work baseline for the efficiency figure.
+    ref_fs = SimFilesystem("ref-lustre")
     ref = make_cluster("ref", 4, interconnect="aries", fs=ref_fs,
                        default_mpi="craympich")
     ref_job = launch_mana(ref, make_program, n_ranks=8, ranks_per_node=2).start()
-    ref_job.run_to_completion()
+    reference_time = ref_job.run_to_completion()
+
+    interval = young_daly_interval(mtbf_seconds=40.0, ckpt_cost_seconds=0.5)
+    print(f"Young/Daly period for MTBF=40s, C=0.5s: {interval:.1f} s")
+    crash1 = NodeCrashAt(1.5 * interval, node=2)  # mid-compute, after ckpt 1
+
+    # Rehearsal pass: run the single-crash scenario once to learn exactly
+    # when the post-recovery attempt cuts its first checkpoint, so we can
+    # script a second crash right in the middle of that Algorithm-2 round.
+    # (The simulation is deterministic, so the timing transfers verbatim.)
+    _fs1, prod1, spare1 = make_site("rehearsal")
+    with tempfile.TemporaryDirectory() as stable:
+        rehearsal = run_resilient(
+            prod1, make_program, n_ranks=8, ranks_per_node=2,
+            interval=interval, faults=[crash1], spare_cluster=spare1,
+            out_dir=stable, reference_time=reference_time,
+        )
+    assert rehearsal.completed and len(rehearsal.failures) == 1
+    detect1 = rehearsal.failures[0].detected_at
+    idx = next(i for i, t in enumerate(rehearsal.checkpoint_times)
+               if t > detect1)
+    t_end = rehearsal.checkpoint_times[idx]
+    d = rehearsal.reports[idx].total_time
+    crash2 = NodeCrashAt(t_end - d / 2, node=1)  # mid-checkpoint-protocol
+    print(f"rehearsal: crash at t={crash1.time:.1f}s detected "
+          f"{detect1 - crash1.time:.2f}s later; recovery checkpoints at "
+          f"t={t_end - d:.2f}s, so a second crash at t={crash2.time:.2f}s "
+          f"lands mid-protocol")
+
+    # The real run: two node failures, one mid-compute and one in the middle
+    # of a coordinated checkpoint.  The aborted round must not hang or
+    # corrupt anything; recovery falls back to the last *completed* set.
+    shared_fs, prod, spare = make_site("prod")
+    with tempfile.TemporaryDirectory() as stable:
+        run = run_resilient(
+            prod, make_program, n_ranks=8, ranks_per_node=2,
+            interval=interval, faults=[crash1, crash2], spare_cluster=spare,
+            out_dir=stable, reference_time=reference_time,
+        )
+    assert run.completed, run.stop_reason
+    assert [f.during for f in run.failures] == ["compute", "checkpoint"]
+    for f in run.failures:
+        print(f"failure #{f.attempt}: nodes {f.nodes} at t={f.global_time:.2f}s "
+              f"during {f.during}, {f.lost_work:.2f}s of work lost")
+    final = run.final_job
+    print(f"survived {len(run.failures)} failures with {run.recoveries} "
+          f"recoveries; finished on {final.cluster.name} "
+          f"({final.world.impl.name}/{final.world.fabric.name}) at "
+          f"t={run.wallclock:.2f}s — efficiency {run.efficiency:.1%} "
+          f"(uninterrupted: {reference_time:.2f}s)")
+
+    # Verify the output file against the uninterrupted reference run.
     got = shared_fs.open("/results.dat", create=False)
     want = ref_fs.open("/results.dat", create=False)
     assert got.read(0, want.size) == want.read(0, want.size)

@@ -27,7 +27,7 @@ from repro.apps.base import (
     register_app,
     steps_program,
 )
-from repro.mpilib.ops import MIN, SUM
+from repro.mpilib.ops import MIN
 from repro.mprog.ast import Call, Compute, If, Program, Seq
 
 MB = 1 << 20

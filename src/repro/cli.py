@@ -68,7 +68,8 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate a figure of the paper")
     bench.add_argument("--figure", required=True,
                        choices=["fig2", "fig3", "fig4", "fig5", "fig6",
-                                "fig7", "fig8", "fig9", "mem"])
+                                "fig7", "fig8", "fig9", "mem",
+                                "resilience"])
     bench.add_argument("--scale", default="small",
                        choices=["small", "medium", "paper"])
     return parser
@@ -122,7 +123,6 @@ def cmd_apps(_args, out) -> int:
 
 def cmd_run(args, out) -> int:
     """``repro run``: run an application (optionally checkpointing)."""
-    from repro.apps.base import AppSpec
     from repro.harness.experiments import _launch_mana_app, _run_native
     from repro.mana.storage import save_checkpoint
 
@@ -222,6 +222,7 @@ def cmd_bench(args, out) -> int:
         "fig8": lambda: harness.fig8_ckpt_breakdown(scale=args.scale),
         "fig9": harness.fig9_cross_cluster_migration,
         "mem": harness.memory_overhead_analysis,
+        "resilience": harness.resilience_efficiency_sweep,
     }
     print(render_table(runners[args.figure]()), file=out)
     return 0

@@ -1,0 +1,47 @@
+"""Fault injection and automated resilience for simulated MANA jobs.
+
+This package closes the loop the paper's checkpointing exists for: things
+*fail*.  It provides deterministic fault models (scripted, exponential
+MTBF, rack-correlated), an injector that applies them to a live world
+(crashing nodes and the ranks on them mid-flight, degrading the fabric,
+slowing the filesystem), a heartbeat failure detector that lets the
+coordinator abort an un-convergeable Algorithm-2 round, and
+:func:`run_resilient` — the periodic-checkpoint / detect / re-plan /
+restart loop, with efficiency accounting against the uninterrupted run.
+"""
+
+from repro.faults.detector import FailureDetector, RankFailure
+from repro.faults.injector import FaultInjector, InjectedFault
+from repro.faults.manager import FailureRecord, ResilientRun, run_resilient
+from repro.faults.models import (
+    CorrelatedFaults,
+    ExponentialNodeFaults,
+    Fault,
+    FaultModel,
+    NetworkDegradation,
+    NodeCrash,
+    NodeCrashAt,
+    ScriptedFaults,
+    SlowIO,
+    node_crash_at,
+)
+
+__all__ = [
+    "CorrelatedFaults",
+    "ExponentialNodeFaults",
+    "FailureDetector",
+    "FailureRecord",
+    "Fault",
+    "FaultInjector",
+    "FaultModel",
+    "InjectedFault",
+    "NetworkDegradation",
+    "NodeCrash",
+    "NodeCrashAt",
+    "RankFailure",
+    "ResilientRun",
+    "ScriptedFaults",
+    "SlowIO",
+    "node_crash_at",
+    "run_resilient",
+]

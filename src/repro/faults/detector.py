@@ -1,0 +1,121 @@
+"""Coordinator-side failure detection by heartbeat timeout.
+
+The DMTCP-style coordinator MANA builds on keeps a TCP connection to each
+rank's checkpoint helper thread; a dead node is noticed when its helper
+stops answering.  :class:`FailureDetector` models that: every ``period``
+seconds it pings each rank over the control plane (same
+:class:`~repro.mana.coordinator.ControlPlaneModel` delays the checkpoint
+protocol pays), live helpers pong back, and a rank whose last pong is
+older than ``timeout`` is declared failed.  Subscribers — typically
+:meth:`repro.mana.coordinator.Coordinator.notify_rank_failure`, which
+aborts any in-flight Algorithm-2 round — are notified exactly once per
+rank.
+
+The periodic tick has a useful side effect: it keeps the event queue
+non-empty, so a checkpoint step-loop waiting on a round that can never
+converge reaches the timeout instead of running the queue dry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mana.coordinator import ControlPlaneModel
+from repro.simtime import Engine
+
+
+class RankFailure(RuntimeError):
+    """A rank was declared dead by the failure detector."""
+
+    def __init__(self, rank: int, at: float) -> None:
+        super().__init__(
+            f"rank {rank} declared failed at t={at:.6f} (heartbeat timeout)"
+        )
+        self.rank = rank
+        self.at = at
+
+
+class FailureDetector:
+    """Heartbeat-based detector over one job attempt's rank helpers."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        runtimes: list,
+        control: Optional[ControlPlaneModel] = None,
+        period: float = 0.05,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"heartbeat period must be positive, got {period}")
+        self.engine = engine
+        self.runtimes = runtimes
+        self.control = control if control is not None else ControlPlaneModel()
+        self.period = float(period)
+        #: declare a rank dead when its last pong is older than this;
+        #: defaults to three periods (must exceed one period plus the
+        #: control-plane round trip, or healthy ranks get declared dead)
+        self.timeout = float(timeout) if timeout is not None else 3 * self.period
+        #: rank -> virtual time of its most recent pong
+        self.last_seen: dict[int, float] = {
+            r: engine.now for r in range(len(runtimes))
+        }
+        #: callbacks invoked once per failed rank, as ``cb(rank)``
+        self.on_failure: list[Callable[[int], None]] = []
+        #: ranks already declared failed
+        self.failed: set[int] = set()
+        self._running = False
+        self._handle = None
+
+    def start(self) -> None:
+        """Begin the heartbeat loop (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop the loop; no further pings, pongs are ignored."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------- internals
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        now = self.engine.now
+        for rank in range(len(self.runtimes)):
+            if rank in self.failed:
+                continue
+            if now - self.last_seen[rank] > self.timeout:
+                self._declare_failed(rank)
+        for rank, rt in enumerate(self.runtimes):
+            if rank in self.failed:
+                continue
+            self.engine.call_after(
+                self.control.fanout_delay(rank), self._ping, rank,
+                label=f"hb:ping->r{rank}",
+            )
+        self._handle = self.engine.call_after(
+            self.period, self._tick, label="hb:tick"
+        )
+
+    def _ping(self, rank: int) -> None:
+        rt = self.runtimes[rank]
+        if getattr(rt, "alive", True):
+            self.engine.call_after(
+                self.control.reply_delay(), self._pong, rank,
+                label=f"hb:pong<-r{rank}",
+            )
+
+    def _pong(self, rank: int) -> None:
+        if self._running:
+            self.last_seen[rank] = self.engine.now
+
+    def _declare_failed(self, rank: int) -> None:
+        self.failed.add(rank)
+        for cb in list(self.on_failure):
+            cb(rank)

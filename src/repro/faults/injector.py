@@ -1,0 +1,150 @@
+"""Fault injection: applying a fault model to a live simulated world.
+
+The :class:`FaultInjector` bridges a :class:`~repro.faults.models.
+FaultModel` (global-time fault schedule) and one *attempt* of a job (a
+fresh engine whose clock starts at 0).  ``offset`` is the global time at
+engine time 0, so the injector can translate the schedule into local
+events.  One fault is armed at a time; when it fires the injector mutates
+the world — crashes nodes and kills their ranks mid-flight, degrades the
+fabric, slows the filesystem — records it, and arms the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.models import (
+    Fault,
+    FaultModel,
+    NetworkDegradation,
+    NodeCrash,
+    SlowIO,
+)
+from repro.hardware.cluster import Cluster
+from repro.simtime import Engine
+
+
+@dataclass
+class InjectedFault:
+    """One fault that actually fired, with its local (engine) time."""
+
+    fault: Fault
+    local_time: float
+
+
+class FaultInjector:
+    """Schedules and applies faults from a model onto one job attempt."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cluster: Cluster,
+        job=None,
+        offset: float = 0.0,
+    ) -> None:
+        self.engine = engine
+        self.cluster = cluster
+        #: the :class:`repro.mana.job.ManaJob` whose ranks die with their
+        #: nodes; optional so hardware-only experiments can inject too
+        self.job = job
+        #: global virtual time corresponding to this engine's t=0
+        self.offset = float(offset)
+        #: faults that fired on this attempt, in firing order
+        self.injected: list[InjectedFault] = []
+        self._model: Optional[FaultModel] = None
+        self._handle = None
+
+    # ------------------------------------------------------------- scheduling
+
+    def arm(self, model: FaultModel) -> None:
+        """Start injecting from ``model`` (one pending fault at a time)."""
+        self._model = model
+        self._schedule_next()
+
+    def disarm(self) -> None:
+        """Cancel the pending fault and restore transient degradations.
+
+        Called when an attempt is abandoned: the shared storage object
+        outlives this engine (the next attempt reuses it), so an in-flight
+        :class:`SlowIO` whose restore event would die with the engine must
+        be undone here.  The fabric belongs to the attempt's world and dies
+        with it, but is restored too for symmetry.
+        """
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        self._model = None
+        self.cluster.storage.restore()
+        if self.job is not None:
+            self.job.world.fabric.restore()
+
+    def _schedule_next(self) -> None:
+        if self._model is None:
+            return
+        fault = self._model.next_fault(self.offset + self.engine.now)
+        if fault is None:
+            self._handle = None
+            return
+        local = fault.time - self.offset
+        self._handle = self.engine.call_at(
+            local, self._fire, fault, label=f"fault@{fault.time:g}"
+        )
+
+    def _fire(self, fault: Fault) -> None:
+        self._handle = None
+        self.apply(fault)
+        self.injected.append(InjectedFault(fault, self.engine.now))
+        self._schedule_next()
+
+    # -------------------------------------------------------------- appliers
+
+    def apply(self, fault: Fault) -> None:
+        """Apply ``fault`` to the world right now (also usable directly)."""
+        if isinstance(fault, NodeCrash):
+            for nid in fault.nodes:
+                self.crash_node(nid)
+        elif isinstance(fault, NetworkDegradation):
+            self._degrade_network(fault)
+        elif isinstance(fault, SlowIO):
+            self._slow_io(fault)
+        else:
+            raise TypeError(f"unknown fault kind: {type(fault).__name__}")
+
+    def crash_node(self, node_id: int) -> None:
+        """Fail-stop ``node_id``: mark it failed, kill its resident ranks.
+
+        Unknown node ids and already-failed nodes are ignored — a scripted
+        scenario replayed on a spare cluster may name nodes that are not
+        there.
+        """
+        node = next(
+            (n for n in self.cluster.nodes if n.node_id == node_id), None
+        )
+        if node is None or node.failed:
+            return
+        node.fail(at=self.offset + self.engine.now)
+        if self.job is not None:
+            for rank, nid in enumerate(self.job.world.placement):
+                if nid == node_id:
+                    self.job.runtimes[rank].kill()
+
+    def _degrade_network(self, fault: NetworkDegradation) -> None:
+        if self.job is None:
+            return
+        fabric = self.job.world.fabric
+        # the fault's beta_mult scales the *inverse-bandwidth* term, i.e. a
+        # beta_mult of 4 divides the fabric's bandwidth by 4
+        fabric.degrade(
+            alpha_mult=fault.alpha_mult, beta_mult=1.0 / fault.beta_mult
+        )
+        self.engine.call_after(
+            fault.duration, fabric.restore, label="fault:net-restore"
+        )
+
+    def _slow_io(self, fault: SlowIO) -> None:
+        storage = self.cluster.storage
+        storage.degrade(fault.factor)
+        self.engine.call_after(
+            fault.duration, storage.restore, label="fault:io-restore"
+        )

@@ -1,0 +1,169 @@
+"""Fault models: *what* goes wrong, and *when*.
+
+A fault model is a deterministic generator of :class:`Fault` events on the
+global (cross-restart) time axis.  The :class:`~repro.faults.injector.
+FaultInjector` asks a model for the next fault strictly after a given time
+and schedules it on the live engine, so the same model instance naturally
+spans restarts: after a crash at global time ``T`` the new attempt keeps
+drawing faults *after* ``T``.
+
+Three generators are provided, mirroring the failure modes checkpointing
+systems like MANA are deployed against:
+
+* :class:`ScriptedFaults` — an explicit list, for reproducing a precise
+  scenario (e.g. "kill node 3 exactly mid-Algorithm-2");
+* :class:`ExponentialNodeFaults` — the classic per-node Poisson process
+  with a given MTBF, seeded via :class:`repro.simtime.rng.RngStreams` so
+  every sweep point is replayable bit-for-bit;
+* :class:`CorrelatedFaults` — wraps another model and widens each node
+  crash to its whole rack/PSU group, modeling correlated infrastructure
+  failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.simtime.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base event: something goes wrong at global virtual time ``time``."""
+
+    #: global virtual time (cumulative across restarts) at which to fire
+    time: float
+
+
+@dataclass(frozen=True)
+class NodeCrash(Fault):
+    """One or more compute nodes fail-stop; every rank on them dies."""
+
+    #: node ids that crash together
+    nodes: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class NetworkDegradation(Fault):
+    """Transient fabric brownout: α/β multiplied for ``duration`` seconds."""
+
+    #: seconds the degradation lasts before the fabric is restored
+    duration: float = 1.0
+    #: multiplier applied to the fabric's latency term (α)
+    alpha_mult: float = 1.0
+    #: multiplier applied to the fabric's inverse-bandwidth term (β)
+    beta_mult: float = 1.0
+
+
+@dataclass(frozen=True)
+class SlowIO(Fault):
+    """Transient parallel-filesystem slowdown (contending jobs, OST rebuild)."""
+
+    #: seconds the slowdown lasts before bandwidth is restored
+    duration: float = 1.0
+    #: factor by which Lustre bandwidths are divided while active
+    factor: float = 4.0
+
+
+def node_crash_at(time: float, node: int) -> NodeCrash:
+    """Convenience: a scripted single-node crash at global time ``time``."""
+    return NodeCrash(time=time, nodes=(node,))
+
+
+#: Alias matching the scenario-script spelling used in docs and examples.
+NodeCrashAt = node_crash_at
+
+
+class FaultModel:
+    """Interface: a deterministic stream of faults on the global time axis."""
+
+    def next_fault(self, after: float) -> Optional[Fault]:
+        """Return the earliest fault with ``fault.time > after``, or None."""
+        raise NotImplementedError
+
+
+class ScriptedFaults(FaultModel):
+    """An explicit, finite fault schedule."""
+
+    def __init__(self, faults: Iterable[Fault]) -> None:
+        self.faults = sorted(faults, key=lambda f: f.time)
+
+    def next_fault(self, after: float) -> Optional[Fault]:
+        """The earliest scripted fault strictly after ``after``."""
+        for f in self.faults:
+            if f.time > after:
+                return f
+        return None
+
+
+class ExponentialNodeFaults(FaultModel):
+    """Independent per-node Poisson failure processes.
+
+    Each node draws exponential inter-arrival times with mean
+    ``mtbf_seconds`` from its own named stream
+    (``fault:node<NID>``), so adding or querying nodes never perturbs the
+    arrival sequence of another node, and the whole process replays
+    identically for a given :class:`RngStreams` seed.
+    """
+
+    def __init__(
+        self,
+        node_ids: Sequence[int],
+        mtbf_seconds: float,
+        rng: RngStreams,
+    ) -> None:
+        if mtbf_seconds <= 0:
+            raise ValueError(f"MTBF must be positive, got {mtbf_seconds}")
+        self.node_ids = list(node_ids)
+        self.mtbf_seconds = float(mtbf_seconds)
+        self.rng = rng
+        # per-node cumulative arrival times, extended lazily (append-only,
+        # so answers never depend on query order)
+        self._arrivals: dict[int, list[float]] = {n: [] for n in self.node_ids}
+
+    def _extend_past(self, node: int, t: float) -> None:
+        arr = self._arrivals[node]
+        gen = self.rng.stream(f"fault:node{node}")
+        while not arr or arr[-1] <= t:
+            last = arr[-1] if arr else 0.0
+            arr.append(last + float(gen.exponential(self.mtbf_seconds)))
+
+    def next_fault(self, after: float) -> Optional[Fault]:
+        """The earliest node-crash arrival strictly after ``after``."""
+        best_t: Optional[float] = None
+        best_node: Optional[int] = None
+        for node in self.node_ids:
+            self._extend_past(node, after)
+            t = next(t for t in self._arrivals[node] if t > after)
+            if best_t is None or t < best_t:
+                best_t, best_node = t, node
+        if best_t is None:
+            return None
+        return NodeCrash(time=best_t, nodes=(best_node,))
+
+
+class CorrelatedFaults(FaultModel):
+    """Widen node crashes from a base model to whole rack/PSU groups.
+
+    ``groups`` typically comes from :meth:`repro.hardware.cluster.Cluster.
+    rack_groups`.  Non-crash faults pass through unchanged; a crash touching
+    any member of a group takes down the union of all groups it intersects.
+    """
+
+    def __init__(
+        self, base: FaultModel, groups: Sequence[Sequence[int]]
+    ) -> None:
+        self.base = base
+        self.groups = [tuple(g) for g in groups]
+
+    def next_fault(self, after: float) -> Optional[Fault]:
+        """Next base fault, with node crashes expanded to full groups."""
+        fault = self.base.next_fault(after)
+        if not isinstance(fault, NodeCrash):
+            return fault
+        doomed = set(fault.nodes)
+        for group in self.groups:
+            if doomed & set(group):
+                doomed |= set(group)
+        return NodeCrash(time=fault.time, nodes=tuple(sorted(doomed)))

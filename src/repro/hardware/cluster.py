@@ -42,6 +42,16 @@ class Cluster:
         return len(self.nodes)
 
     @property
+    def alive_nodes(self) -> list[ComputeNode]:
+        """Nodes currently in service (not crashed)."""
+        return [n for n in self.nodes if not n.failed]
+
+    @property
+    def failed_nodes(self) -> list[ComputeNode]:
+        """Nodes currently marked crashed."""
+        return [n for n in self.nodes if n.failed]
+
+    @property
     def kernel(self) -> KernelModel:
         """The (homogeneous) node kernel model."""
         return self.nodes[0].kernel
@@ -49,33 +59,40 @@ class Cluster:
     def place_ranks(self, n_ranks: int, ranks_per_node: Optional[int] = None) -> list[int]:
         """Block-place ``n_ranks`` MPI ranks; returns rank→node_id.
 
+        Placement only ever uses healthy nodes — a crashed node (see
+        :meth:`ComputeNode.fail`) is invisible to the scheduler, which is
+        what lets a restart re-plan onto the survivors for free.
+
         With ``ranks_per_node`` unset, ranks are spread as evenly as possible
-        across all nodes (what a fresh ``MPI_Init`` discovers — the paper's
-        point about restart re-optimising rank-to-host bindings for free).
+        across all healthy nodes (what a fresh ``MPI_Init`` discovers — the
+        paper's point about restart re-optimising rank-to-host bindings).
         """
         if n_ranks <= 0:
             raise ClusterError(f"need a positive rank count, got {n_ranks}")
+        alive = self.alive_nodes
+        if not alive:
+            raise ClusterError(f"cluster {self.name!r} has no healthy nodes")
         if ranks_per_node is None:
-            n_nodes = min(self.node_count, n_ranks)
+            n_nodes = min(len(alive), n_ranks)
             base, extra = divmod(n_ranks, n_nodes)
             placement: list[int] = []
             for node_idx in range(n_nodes):
                 count = base + (1 if node_idx < extra else 0)
-                placement.extend([self.nodes[node_idx].node_id] * count)
+                placement.extend([alive[node_idx].node_id] * count)
             return placement
         if ranks_per_node <= 0:
             raise ClusterError(f"ranks_per_node must be positive, got {ranks_per_node}")
         needed_nodes = -(-n_ranks // ranks_per_node)
-        if needed_nodes > self.node_count:
+        if needed_nodes > len(alive):
             raise ClusterError(
                 f"{n_ranks} ranks at {ranks_per_node}/node need {needed_nodes} nodes; "
-                f"cluster {self.name!r} has {self.node_count}"
+                f"cluster {self.name!r} has {len(alive)} healthy of {self.node_count}"
             )
-        if ranks_per_node > self.nodes[0].cores:
+        if ranks_per_node > alive[0].cores:
             raise ClusterError(
-                f"{ranks_per_node} ranks/node oversubscribes {self.nodes[0].cores} cores"
+                f"{ranks_per_node} ranks/node oversubscribes {alive[0].cores} cores"
             )
-        return [self.nodes[r // ranks_per_node].node_id for r in range(n_ranks)]
+        return [alive[r // ranks_per_node].node_id for r in range(n_ranks)]
 
     def node(self, node_id: int) -> ComputeNode:
         """Look up a node by id; raises ClusterError if unknown."""
@@ -83,6 +100,18 @@ class Cluster:
             if n.node_id == node_id:
                 return n
         raise ClusterError(f"no node {node_id} in cluster {self.name!r}")
+
+    def rack_groups(self, rack_size: int) -> list[tuple[int, ...]]:
+        """Node ids grouped by rack: consecutive blocks of ``rack_size``.
+
+        Node numbering follows physical placement (as hostnames do on real
+        systems), so consecutive ids share a rack/PSU — the failure-
+        correlation domain used by :class:`repro.faults.CorrelatedFaults`.
+        """
+        if rack_size <= 0:
+            raise ClusterError(f"rack_size must be positive, got {rack_size}")
+        ids = [n.node_id for n in self.nodes]
+        return [tuple(ids[i:i + rack_size]) for i in range(0, len(ids), rack_size)]
 
 
 def make_cluster(

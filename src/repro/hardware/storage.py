@@ -18,7 +18,7 @@ The model:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -54,6 +54,20 @@ class LustreModel:
     straggler_alpha: float = 6.0
     #: Cap on the straggler multiplier (paper observes up to ~4x the p90).
     straggler_cap: float = 5.0
+    #: Transient slow-I/O state (OST congestion, failover rebuild): all
+    #: bandwidths are divided by this factor while it is > 1.  Set through
+    #: :meth:`degrade` / :meth:`restore` by the fault injector.
+    slowdown: float = 1.0
+
+    def degrade(self, factor: float) -> None:
+        """Enter a slow-I/O window: divide all bandwidths by ``factor``."""
+        if factor < 1.0:
+            raise ValueError(f"slow-I/O factor must be >= 1, got {factor}")
+        self.slowdown = factor
+
+    def restore(self) -> None:
+        """Leave the slow-I/O window (back to nominal bandwidth)."""
+        self.slowdown = 1.0
 
     def burst(
         self,
@@ -85,17 +99,21 @@ class LustreModel:
         sizes_arr = np.asarray(sizes, dtype=np.float64)
         nodes_arr = np.asarray(node_of)
 
+        # Transient slow-I/O events scale every bandwidth down uniformly.
+        node_bw = self.per_node_bandwidth / self.slowdown
+        backend_bw = self.aggregate_bandwidth / self.slowdown
+
         # Node-level contention: ranks on one node share its injection band.
         writers_per_node = {nid: int(c) for nid, c in
                             zip(*np.unique(nodes_arr, return_counts=True))}
         share = np.array(
-            [self.per_node_bandwidth / writers_per_node[nid] for nid in nodes_arr]
+            [node_bw / writers_per_node[nid] for nid in nodes_arr]
         )
 
         # Global ceiling: if the sum of shares exceeds the backend, scale down.
         total_share = float(share.sum())
-        if total_share > self.aggregate_bandwidth:
-            share *= self.aggregate_bandwidth / total_share
+        if total_share > backend_bw:
+            share *= backend_bw / total_share
 
         times = self.per_file_overhead * (0.5 if read else 1.0) + sizes_arr / share
 

@@ -18,6 +18,8 @@ from repro.harness.experiments import (
     fig8_ckpt_breakdown,
     fig9_cross_cluster_migration,
     memory_overhead_analysis,
+    resilience_efficiency_sweep,
+    resilience_program,
 )
 
 __all__ = [
@@ -33,4 +35,6 @@ __all__ = [
     "fig9_cross_cluster_migration",
     "memory_overhead_analysis",
     "render_table",
+    "resilience_efficiency_sweep",
+    "resilience_program",
 ]

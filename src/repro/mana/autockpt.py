@@ -19,6 +19,7 @@ import shutil
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.mana.checkpoint_image import CheckpointSet
 from repro.mana.coordinator import CheckpointReport
 from repro.mana.job import ManaJob
 from repro.mana.storage import save_checkpoint
@@ -29,6 +30,43 @@ def young_daly_interval(mtbf_seconds: float, ckpt_cost_seconds: float) -> float:
     if mtbf_seconds <= 0 or ckpt_cost_seconds <= 0:
         raise ValueError("MTBF and checkpoint cost must be positive")
     return math.sqrt(2.0 * ckpt_cost_seconds * mtbf_seconds)
+
+
+class CheckpointPruner:
+    """Two-generation checkpoint retention on stable storage.
+
+    Saves each :class:`CheckpointSet` to ``out_dir/ckpt_NNNN`` and prunes
+    the oldest directories down to ``keep`` — but only after the new set is
+    safely on disk, so the newest checkpoint is never at risk.  Shared by
+    the periodic loop and by :func:`repro.faults.run_resilient`, whose
+    numbering continues across recoveries.
+    """
+
+    def __init__(self, out_dir: Union[str, pathlib.Path], keep: int = 2) -> None:
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.out_dir = pathlib.Path(out_dir)
+        self.keep = keep
+        self.saved_dirs: list[pathlib.Path] = []
+        self._index = 0
+
+    @property
+    def latest_dir(self) -> Optional[pathlib.Path]:
+        """The newest saved checkpoint directory, if any."""
+        return self.saved_dirs[-1] if self.saved_dirs else None
+
+    def save(self, ckpt: CheckpointSet) -> pathlib.Path:
+        """Persist ``ckpt`` as the next generation, then prune old ones."""
+        target = self.out_dir / f"ckpt_{self._index:04d}"
+        save_checkpoint(ckpt, target)
+        self.saved_dirs.append(target)
+        self._index += 1
+        # prune, oldest first, but never below `keep` (and so never the
+        # directory just written)
+        while len(self.saved_dirs) > self.keep:
+            doomed = self.saved_dirs.pop(0)
+            shutil.rmtree(doomed, ignore_errors=True)
+        return target
 
 
 @dataclass
@@ -73,8 +111,12 @@ def run_with_periodic_checkpoints(
     if keep < 1:
         raise ValueError("must keep at least one checkpoint")
     out = PeriodicRun(completed=False)
-    out_path = pathlib.Path(out_dir) if out_dir is not None else None
+    pruner = CheckpointPruner(out_dir, keep=keep) if out_dir is not None else None
     t0 = job.engine.now
+    # Record the exact virtual time the job finishes: `run_until` always
+    # advances the clock to its deadline, so the clock alone can overshoot.
+    finish_time: list[float] = []
+    job.finished.on_done(lambda _v: finish_time.append(job.engine.now))
     next_ckpt = t0 + interval
     index = 0
     while True:
@@ -91,15 +133,11 @@ def run_with_periodic_checkpoints(
             break
         ckpt, report = job.checkpoint()
         out.reports.append(report)
-        if out_path is not None:
-            target = out_path / f"ckpt_{index:04d}"
-            save_checkpoint(ckpt, target)
-            out.saved_dirs.append(target)
-            # prune, oldest first, but never below `keep`
-            while len(out.saved_dirs) > keep:
-                doomed = out.saved_dirs.pop(0)
-                shutil.rmtree(doomed, ignore_errors=True)
+        if pruner is not None:
+            pruner.save(ckpt)
+            out.saved_dirs = list(pruner.saved_dirs)
         index += 1
         next_ckpt = job.engine.now + interval
-    out.total_time = job.engine.now - t0
+    end = finish_time[0] if (out.completed and finish_time) else job.engine.now
+    out.total_time = end - t0
     return out

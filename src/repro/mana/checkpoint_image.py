@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Any, Optional
 
 from repro.memory.region import Half, MemoryRegion
 

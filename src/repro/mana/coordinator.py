@@ -17,13 +17,13 @@ burst model, stragglers included) → ``resume``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 import numpy as np
 
 from repro.hardware.storage import LustreModel
-from repro.mana.checkpoint_image import CheckpointImage, CheckpointSet
+from repro.mana.checkpoint_image import CheckpointSet
 from repro.mana.protocol import CkptMsg, RankCkptState
 from repro.simtime import Completion, Engine
 
@@ -46,6 +46,23 @@ class ControlPlaneModel:
         return self.latency + self.per_message_cpu
 
 
+class CheckpointAborted(RuntimeError):
+    """A coordinated checkpoint was abandoned because a rank failed.
+
+    Raised (or resolved through the coordinator's completion) when a rank's
+    helper stops responding mid-protocol: the round cannot converge, so the
+    coordinator resumes the survivors and reports the failure instead of
+    hanging.  Carries the failed rank and the phase that was in flight.
+    """
+
+    def __init__(self, rank: int, phase: Optional[str]) -> None:
+        super().__init__(
+            f"checkpoint aborted: rank {rank} failed during phase {phase!r}"
+        )
+        self.rank = rank
+        self.phase = phase
+
+
 @dataclass
 class CheckpointReport:
     """Timing breakdown of one coordinated checkpoint (Fig. 8)."""
@@ -55,11 +72,16 @@ class CheckpointReport:
     write_time: float
     comm_overhead: float
     rounds: int
-    ckpt_set: CheckpointSet = None
+    ckpt_set: Optional[CheckpointSet] = None
 
     @property
     def image_sizes(self) -> list[int]:
         """Per-rank image sizes in bytes."""
+        if self.ckpt_set is None:
+            raise ValueError(
+                "checkpoint report carries no checkpoint set (the protocol "
+                "did not complete, or the set was detached)"
+            )
         return [img.size_bytes for img in self.ckpt_set.images]
 
 
@@ -94,18 +116,56 @@ class Coordinator:
         self._t_write_start = 0.0
         self._rounds = 0
         self.checkpoints_taken = 0
+        #: ranks declared dead (by the failure detector or an injector);
+        #: their late replies are dropped and new checkpoints are refused.
+        self.failed_ranks: set[int] = set()
 
     # ------------------------------------------------------------ public
 
     def request_checkpoint(self) -> Completion:
-        """Begin Algorithm 2; resolves with a :class:`CheckpointReport`."""
+        """Begin Algorithm 2; resolves with a :class:`CheckpointReport`
+        (or with a :class:`CheckpointAborted` if a rank fails mid-protocol)."""
         if self._done is not None and not self._done.done:
             raise RuntimeError("a checkpoint is already in progress")
+        if self.failed_ranks:
+            raise RuntimeError(
+                f"cannot checkpoint: rank(s) {sorted(self.failed_ranks)} "
+                "have failed — restart from the last checkpoint instead"
+            )
         self._done = Completion(self.engine, label="coordinator:ckpt")
         self._t0 = self.engine.now
         self._rounds = 0
         self._round(CkptMsg.INTEND_TO_CKPT)
         return self._done
+
+    def notify_rank_failure(self, rank: int) -> None:
+        """A rank is dead (heartbeat timeout): abort any in-flight protocol.
+
+        The current Algorithm-2 round (or pipeline phase) can never converge
+        — the dead helper will not reply — so instead of hanging in
+        ``_on_reply`` forever the coordinator resumes the surviving ranks
+        and resolves the pending completion with :class:`CheckpointAborted`.
+        Idempotent per rank; safe to call with no checkpoint in progress.
+        """
+        if rank in self.failed_ranks:
+            return
+        self.failed_ranks.add(rank)
+        if self._done is None or self._done.done:
+            return  # no protocol in flight; nothing to abort
+        aborted_phase = self._phase
+        self._phase = "aborted"
+        self._expect_kind = None
+        self._replies = {}
+        done, self._done = self._done, None
+        # Resume the survivors: un-quiesce, release held wrapper entries.
+        for i, rt in enumerate(self.runtimes):
+            if i in self.failed_ranks:
+                continue
+            self.engine.call_after(
+                self.control.fanout_delay(i), rt.on_ctrl, CkptMsg.RESUME,
+                None, label=f"coord:abort-resume->r{i}",
+            )
+        done.resolve(CheckpointAborted(rank, aborted_phase))
 
     # ----------------------------------------------------------- messaging
 
@@ -123,6 +183,8 @@ class Coordinator:
         )
 
     def _on_reply(self, rank: int, msg: CkptMsg, payload: Any) -> None:
+        if self._phase == "aborted" or rank in self.failed_ranks:
+            return  # stale reply racing an abort: drop, never raise
         if msg is CkptMsg.REVISE_IN_PHASE_1:
             # The rank's earlier in-phase-1 reply went stale (its trivial
             # barrier completed).  Un-count it, acknowledge (the rank parks

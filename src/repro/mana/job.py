@@ -14,20 +14,25 @@ the images, and resumes the application exactly where it was.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.hardware.cluster import Cluster
 from repro.mana.checkpoint_image import CheckpointSet
-from repro.mana.coordinator import CheckpointReport, ControlPlaneModel, Coordinator
+from repro.mana.coordinator import (
+    CheckpointAborted,
+    CheckpointReport,
+    ControlPlaneModel,
+    Coordinator,
+)
 from repro.mana.rank_runtime import ManaRankRuntime
 from repro.mana.split_process import SplitProcess
 from repro.mpilib.launcher import init_time, launch
 from repro.mprog.ast import Program
 from repro.mprog.interp import ProgramState
-from repro.simtime import Completion, Engine
+from repro.simtime import Engine
 from repro.simtime.engine import all_of
 
 MB = 1 << 20
@@ -116,14 +121,19 @@ class ManaJob:
 
     def checkpoint(self) -> tuple[CheckpointSet, CheckpointReport]:
         """Trigger a coordinated checkpoint *now* and run the simulation
-        until it completes; the application continues afterwards."""
+        until it completes; the application continues afterwards.
+
+        Raises :class:`CheckpointAborted` if a rank fails mid-protocol (the
+        abort is raised once a failure detector times the dead helper out).
+        """
         done = self.coordinator.request_checkpoint()
-        guard = self.engine.now
         while not done.done:
             if not self.engine.step():
                 raise RuntimeError(
                     "checkpoint protocol stalled: no events pending"
                 )
+        if isinstance(done.value, CheckpointAborted):
+            raise done.value
         report: CheckpointReport = done.value
         report.ckpt_set.meta.update(self.meta)
         report.ckpt_set.meta["taken_at"] = self.engine.now

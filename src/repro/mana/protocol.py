@@ -22,8 +22,8 @@ rank reports ``exit-phase-2``, exactly as printed.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 
 class CkptMsg(enum.Enum):

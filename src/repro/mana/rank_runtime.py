@@ -227,6 +227,10 @@ class ManaRankRuntime:
         self.proc = proc
         self.endpoint = endpoint
         self.program = program
+        #: False once the rank's node crashed: the helper thread is gone (it
+        #: stops answering the coordinator and the failure detector) and the
+        #: driver is dead.  Set by :meth:`kill`.
+        self.alive = True
         self.table = VirtualHandleTable()
         self.log = RecordLog()
         self.counters = P2pCounters()
@@ -451,7 +455,7 @@ class ManaRankRuntime:
 
     def send_deferred_exit_reply(self) -> None:
         """Send the exit-phase-2 reply owed from a deferred round."""
-        if self.reply_fn is not None:
+        if self.alive and self.reply_fn is not None:
             self.reply_fn(self.rank, CkptMsg.STATE_REPLY,
                           RankCkptState.EXIT_PHASE_2)
 
@@ -536,15 +540,51 @@ class ManaRankRuntime:
         real = self.table.resolve(HandleKind.COMM, vcomm)
         return real.rank_of_world(world_rank)
 
+    # --------------------------------------------------------- fault injection
+
+    def kill(self) -> None:
+        """The rank's node crashed: silence the helper thread, kill the
+        driver, and cancel every wrapper-level completion still pending.
+
+        After this the rank emits no further events — the coordinator's
+        round stalls (detected by heartbeat timeout) and completions that
+        resolve into the dead rank are dropped.  Idempotent.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self.driver.kill()
+        for pend in list(self.pending_recvs):
+            pend.active = False
+            pend.out.cancel()
+        self.pending_recvs = []
+        self.held_entries = []
+        self._revision_cont = None
+        self._drain_expected = None
+        self.endpoint.drain_sink = None
+        if (self.current_trivial_barrier is not None
+                and not self.current_trivial_barrier.done):
+            self.current_trivial_barrier.cancel()
+        for rec in self.vrequests.values():
+            if rec.completion is not None and not rec.completion.done:
+                rec.completion.cancel()
+        for rec in self.icolls.values():
+            if rec.barrier is not None and not rec.barrier.done:
+                rec.barrier.cancel()
+
     # ------------------------------------------------- helper thread (§2.6)
 
     def _reply(self, msg: CkptMsg, payload: Any = None) -> None:
+        if not self.alive:
+            return  # a dead helper thread never answers
         if self.reply_fn is None:
             raise RuntimeError(f"rank {self.rank}: no coordinator attached")
         self.reply_fn(self.rank, msg, payload)
 
     def on_ctrl(self, msg: CkptMsg, payload: Any = None) -> None:
         """Receive one control-plane message from the coordinator."""
+        if not self.alive:
+            return  # delivered to a crashed node: silently lost
         if msg in (CkptMsg.INTEND_TO_CKPT, CkptMsg.EXTRA_ITERATION):
             self.protocol.mode = ProtocolMode.PRE_CKPT
             state = self.protocol.classify()

@@ -13,7 +13,7 @@ as the originals did.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.mana.virtualize import HandleKind, VirtualHandleTable

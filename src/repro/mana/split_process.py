@@ -23,7 +23,6 @@ and back); :meth:`fs_transition_cost` exposes the node kernel's price.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.hardware.kernelmodel import KernelModel
 from repro.memory import AddressSpace, Half, MemoryRegion, Perm, RegionKind, UpperHeap

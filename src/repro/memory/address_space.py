@@ -16,7 +16,7 @@ any attempt to map two live regions over each other raises.
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Iterable, Optional
+from typing import Callable, Optional
 
 from repro.memory.region import Half, MemoryRegion, Perm, RegionKind
 

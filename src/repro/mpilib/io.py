@@ -21,12 +21,12 @@ migrated storage, exactly as the paper's checkpoint images do).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.hardware.filesystem import SimFile, SimFilesystem
 from repro.mpilib.comm import Communicator, MpiError
-from repro.simtime import Completion, Engine
+from repro.simtime import Completion
 
 
 class IoError(MpiError):

@@ -13,7 +13,7 @@ counters only — ``snapshot()`` / ``restore()`` round-trip through pickle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.mprog.ast import (

@@ -59,12 +59,39 @@ class Interconnect:
         #: cumulative statistics for experiment reporting
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: nominal (α, β) saved while a transient degradation is active
+        self._nominal: Optional[tuple[float, float]] = None
 
     # ------------------------------------------------------------- timing
 
     def transfer_time(self, size: int) -> float:
         """Pure wire time for ``size`` bytes (no host CPU cost)."""
         return self.alpha + size / self.beta
+
+    # ----------------------------------------------------- fault injection
+
+    @property
+    def degraded(self) -> bool:
+        """True while a transient network degradation is active."""
+        return self._nominal is not None
+
+    def degrade(self, alpha_mult: float = 1.0, beta_mult: float = 1.0) -> None:
+        """Enter a degraded window: multiply α (latency) by ``alpha_mult``
+        and β (bandwidth) by ``beta_mult``.  Used by the fault injector to
+        model congestion or a failed-over link; :meth:`restore` undoes it.
+        Messages already in flight keep their original arrival times."""
+        if alpha_mult <= 0 or beta_mult <= 0:
+            raise NetworkError("degradation multipliers must be positive")
+        if self._nominal is None:
+            self._nominal = (self.alpha, self.beta)
+        self.alpha = self._nominal[0] * alpha_mult
+        self.beta = self._nominal[1] * beta_mult
+
+    def restore(self) -> None:
+        """Leave the degraded window: back to the nominal α/β (idempotent)."""
+        if self._nominal is not None:
+            self.alpha, self.beta = self._nominal
+            self._nominal = None
 
     # ------------------------------------------------------------ transfer
 

@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.mprog.ast import Call, Compute, Program
-from repro.mprog.interp import Action, Interpreter, ProgramState
+from repro.mprog.ast import Call, Compute
+from repro.mprog.interp import Action, Interpreter
 from repro.simtime import Completion, Engine
 
 
@@ -50,6 +50,9 @@ class RankDriver:
         self.label = label
         self.finished = Completion(engine, label=f"{label}:finished")
         self._started = False
+        #: True once the rank was killed by a fault (node crash).  A dead
+        #: driver never advances again; late completions are ignored.
+        self.dead = False
         #: True between do-ckpt quiesce and resume; freezes leaf boundaries.
         self.quiesced = False
         #: Optional hook consulted before issuing a Call leaf.  Returning
@@ -83,9 +86,25 @@ class RankDriver:
         """Freeze the rank at its next leaf boundary (or where it is parked)."""
         self.quiesced = True
 
+    def kill(self) -> None:
+        """Terminate the rank permanently (its node crashed).
+
+        The stored continuation is dropped, the pending-state machinery is
+        disabled, and the ``finished`` completion is cancelled so a joint
+        ``all_of`` over a job's ranks can never resolve once a rank is lost.
+        Idempotent; there is no way back — recovery means restarting a fresh
+        driver from a checkpoint.
+        """
+        self.dead = True
+        self.quiesced = False
+        self._pending = None
+        self.parked_at = "dead"
+        if not self.finished.done:
+            self.finished.cancel()
+
     def resume(self) -> None:
         """Undo :meth:`quiesce`; continue from the stored continuation."""
-        if not self.quiesced:
+        if self.dead or not self.quiesced:
             return
         self.quiesced = False
         self._fire_pending()
@@ -123,6 +142,8 @@ class RankDriver:
     # ------------------------------------------------------------- main loop
 
     def _advance(self) -> None:
+        if self.dead:
+            return
         if self.quiesced:
             self._park("quiesce", self._advance)
             return
@@ -168,6 +189,8 @@ class RankDriver:
             return
 
     def _maybe_issue(self, action: Action) -> None:
+        if self.dead:
+            return
         if self.quiesced:
             self._park("quiesce", lambda: self._maybe_issue(action))
             return
@@ -189,6 +212,8 @@ class RankDriver:
         completion.on_done(lambda value: self._call_finished(node, value))
 
     def _call_finished(self, node: Call, value: Any) -> None:
+        if self.dead:
+            return  # the call outlived its rank (e.g. a zombie collective)
         if node.store is not None:
             self.interp.state[node.store] = value
         if self.leaf_done_hook is not None:

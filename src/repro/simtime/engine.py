@@ -133,7 +133,11 @@ class Engine:
         """Run events until the queue drains or the clock passes ``until``.
 
         Returns the virtual time at which execution stopped.  Events scheduled
-        exactly at ``until`` are executed.
+        exactly at ``until`` are executed.  With a finite ``until`` in the
+        future, the clock always ends at ``until`` — whether the queue still
+        holds later events or drained early — so callers can rely on
+        ``run(until=t)`` leaving ``now == t``.  An infinite ``until`` leaves
+        the clock at the last fired event.
         """
         fired = 0
         while self._queue:
@@ -141,8 +145,7 @@ class Engine:
             if when is None:
                 break
             if when > until:
-                self._now = until
-                return self._now
+                break
             if not self.step():
                 break
             fired += 1
@@ -150,7 +153,14 @@ class Engine:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely a livelock"
                 )
+        if math.isfinite(until) and until > self._now:
+            self._now = until
         return self._now
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next live event, or None if the queue is empty."""
+        return self._peek_time()
 
     def _peek_time(self) -> Optional[float]:
         while self._queue:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps import osu
-from repro.hardware.cluster import local_cluster, make_cluster
+from repro.hardware.cluster import make_cluster
 from repro.hardware.kernelmodel import PATCHED, UNPATCHED
 
 

@@ -1,0 +1,64 @@
+"""FailureDetector: heartbeat timeouts over rank helpers."""
+
+import pytest
+
+from repro.faults import FailureDetector, FaultInjector, NodeCrashAt, RankFailure
+from repro.faults.models import ScriptedFaults
+from repro.hardware.cluster import make_cluster
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("det", 4, interconnect="aries")
+
+
+def test_healthy_ranks_never_declared_failed(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=20), n_ranks=4)
+    detector = FailureDetector(job.engine, job.runtimes, period=0.05)
+    detector.start()
+    job.run_until(5.0)
+    assert detector.failed == set()
+    detector.stop()
+
+
+def test_dead_rank_detected_within_timeout(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=100), n_ranks=4)
+    detector = FailureDetector(job.engine, job.runtimes, period=0.05)
+    seen = []
+    detector.on_failure.append(seen.append)
+    detector.start()
+    injector = FaultInjector(job.engine, cluster, job)
+    injector.arm(ScriptedFaults([NodeCrashAt(2.0, node=1)]))
+    job.run_until(6.0)
+    dead = {r for r, nid in enumerate(job.world.placement) if nid == 1}
+    assert detector.failed == dead
+    assert sorted(seen) == sorted(dead)  # exactly once per dead rank
+    # detection is prompt: within timeout plus ~two heartbeat periods
+    for rank in dead:
+        assert detector.last_seen[rank] <= 2.0 + detector.period
+    detector.stop()
+
+
+def test_stop_halts_heartbeats(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=3), n_ranks=4)
+    detector = FailureDetector(job.engine, job.runtimes, period=0.05)
+    detector.start()
+    job.run_until(1.0)
+    detector.stop()
+    # once stopped (and the job done) the event queue drains completely
+    job.run_to_completion()
+    assert job.engine.pending_events == 0
+
+
+def test_detector_rejects_bad_period(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=3), n_ranks=4)
+    with pytest.raises(ValueError):
+        FailureDetector(job.engine, job.runtimes, period=0.0)
+
+
+def test_rank_failure_exception_carries_details():
+    err = RankFailure(3, 1.25)
+    assert err.rank == 3 and err.at == 1.25
+    assert "rank 3" in str(err)

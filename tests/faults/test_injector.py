@@ -1,0 +1,121 @@
+"""FaultInjector: applying faults to a live world."""
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    NetworkDegradation,
+    NodeCrashAt,
+    ScriptedFaults,
+    SlowIO,
+)
+from repro.hardware.cluster import make_cluster
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("inj", 4, interconnect="aries")
+
+
+def test_crash_node_kills_resident_ranks(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=50), n_ranks=4)
+    injector = FaultInjector(job.engine, cluster, job)
+    injector.arm(ScriptedFaults([NodeCrashAt(1.3, node=1)]))
+    job.run_until(5.0)
+
+    node = cluster.node(1)
+    assert node.failed and node.failed_at == 1.3
+    dead = [r for r, nid in enumerate(job.world.placement) if nid == 1]
+    assert dead
+    for rank in dead:
+        assert not job.runtimes[rank].alive
+        assert job.runtimes[rank].driver.parked_at == "dead"
+    # survivors stay alive; the joint completion can never resolve
+    for rank in range(4):
+        if rank not in dead:
+            assert job.runtimes[rank].alive
+    assert not job.finished.done
+    assert [i.fault.nodes for i in injector.injected] == [(1,)]
+    assert [i.local_time for i in injector.injected] == [1.3]
+
+
+def test_crash_unknown_or_failed_node_is_ignored(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=4), n_ranks=4)
+    injector = FaultInjector(job.engine, cluster, job)
+    injector.crash_node(999)  # not a node of this cluster
+    injector.crash_node(0)
+    before = cluster.node(0).failed_at
+    injector.crash_node(0)  # second crash of the same node: no-op
+    assert cluster.node(0).failed_at == before
+    assert len(cluster.failed_nodes) == 1
+
+
+def test_offset_translates_global_to_local_time(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=50), n_ranks=4)
+    injector = FaultInjector(job.engine, cluster, job, offset=10.0)
+    injector.arm(ScriptedFaults([NodeCrashAt(11.5, node=0)]))
+    job.run_until(3.0)
+    assert cluster.node(0).failed
+    assert injector.injected[0].local_time == pytest.approx(1.5)
+    assert cluster.node(0).failed_at == pytest.approx(11.5)  # global
+
+
+def test_network_degradation_is_transient(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=60), n_ranks=4)
+    fabric = job.world.fabric
+    alpha0, beta0 = fabric.alpha, fabric.beta
+    injector = FaultInjector(job.engine, cluster, job)
+    injector.arm(ScriptedFaults([
+        NetworkDegradation(time=1.0, duration=2.0, alpha_mult=5.0,
+                           beta_mult=3.0),
+    ]))
+    job.run_until(1.5)
+    assert fabric.degraded
+    assert fabric.alpha == pytest.approx(5.0 * alpha0)
+    assert fabric.beta == pytest.approx(beta0 / 3.0)  # bandwidth divided
+    job.run_until(4.0)
+    assert not fabric.degraded
+    assert fabric.alpha == pytest.approx(alpha0)
+    assert fabric.beta == pytest.approx(beta0)
+
+
+def test_slow_io_is_transient(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=60), n_ranks=4)
+    injector = FaultInjector(job.engine, cluster, job)
+    injector.arm(ScriptedFaults([SlowIO(time=1.0, duration=1.0, factor=8.0)]))
+    job.run_until(1.5)
+    assert cluster.storage.slowdown == 8.0
+    job.run_until(3.0)
+    assert cluster.storage.slowdown == 1.0
+
+
+def test_slow_io_stretches_checkpoint_writes(cluster):
+    factory = allreduce_factory(n_iters=30)
+    fast = launch_small(cluster, factory, n_ranks=4)
+    _, report_fast = fast.checkpoint_at(1.0)
+
+    cluster2 = make_cluster("inj2", 4, interconnect="aries")
+    slow = launch_small(cluster2, factory, n_ranks=4)
+    FaultInjector(slow.engine, cluster2, slow).apply(
+        SlowIO(time=0.0, duration=100.0, factor=8.0)
+    )
+    _, report_slow = slow.checkpoint_at(1.0)
+    assert report_slow.write_time > 4 * report_fast.write_time
+
+
+def test_disarm_cancels_pending_and_restores_storage(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=60), n_ranks=4)
+    injector = FaultInjector(job.engine, cluster, job)
+    injector.arm(ScriptedFaults([
+        SlowIO(time=1.0, duration=50.0, factor=4.0),
+        NodeCrashAt(2.0, node=0),
+    ]))
+    job.run_until(1.2)
+    assert cluster.storage.slowdown == 4.0
+    injector.disarm()
+    assert cluster.storage.slowdown == 1.0  # transient undone immediately
+    job.run_until(5.0)
+    assert not cluster.node(0).failed  # the pending crash never fires
+    assert len(injector.injected) == 1

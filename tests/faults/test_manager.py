@@ -1,0 +1,136 @@
+"""run_resilient: the automated checkpoint / detect / re-plan / restart loop."""
+
+import pytest
+
+from repro.faults import NodeCrashAt, run_resilient
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana
+
+from tests.mana.conftest import allreduce_factory
+
+FACTORY = allreduce_factory(n_iters=8, cost=0.5)
+
+
+def _reference():
+    cluster = make_cluster("ref", 4, interconnect="aries")
+    job = launch_mana(cluster, FACTORY, n_ranks=4).start()
+    t = job.run_to_completion()
+    return t, [s["hist"] for s in job.states]
+
+
+def test_no_faults_completes_with_high_efficiency():
+    ref_time, ref_hist = _reference()
+    cluster = make_cluster("calm", 4, interconnect="aries")
+    run = run_resilient(cluster, FACTORY, n_ranks=4, interval=1.0, seed=1)
+    assert run.completed and run.stop_reason == "completed"
+    assert run.recoveries == 0 and run.failures == []
+    assert run.attempts == 1
+    assert [s["hist"] for s in run.final_states] == ref_hist
+    assert run.reference_time == pytest.approx(ref_time)
+    # only checkpoint overhead separates the run from the reference
+    assert 0.9 < run.efficiency <= 1.0
+
+
+def test_survives_mid_compute_and_mid_checkpoint_crashes(tmp_path):
+    """The subsystem's acceptance scenario: two node crashes in one run —
+    one mid-compute, one in the middle of an Algorithm-2 round — and the
+    final application state is identical to an uninterrupted run."""
+    ref_time, ref_hist = _reference()
+    crash1 = NodeCrashAt(1.7, node=2)
+
+    # Pass 1: rehearse with only the mid-compute crash to learn when the
+    # recovered attempt cuts its first checkpoint.  Determinism makes the
+    # timing transfer exactly to the second pass.
+    rehearsal = run_resilient(
+        make_cluster("reh", 4, interconnect="aries"), FACTORY, n_ranks=4,
+        interval=1.0, faults=[crash1], seed=1, out_dir=tmp_path / "reh",
+        reference_time=ref_time,
+    )
+    assert rehearsal.completed
+    assert [f.during for f in rehearsal.failures] == ["compute"]
+    assert [s["hist"] for s in rehearsal.final_states] == ref_hist
+    detect1 = rehearsal.failures[0].detected_at
+    idx = next(i for i, t in enumerate(rehearsal.checkpoint_times)
+               if t > detect1)
+    t_end = rehearsal.checkpoint_times[idx]
+    d = rehearsal.reports[idx].total_time
+    crash2 = NodeCrashAt(t_end - d / 2, node=0)  # dead centre of the round
+
+    # Pass 2: both crashes in one run.
+    run = run_resilient(
+        make_cluster("storm", 4, interconnect="aries"), FACTORY, n_ranks=4,
+        interval=1.0, faults=[crash1, crash2], seed=1,
+        out_dir=tmp_path / "storm", reference_time=ref_time,
+    )
+    assert run.completed, run.stop_reason
+    assert [f.during for f in run.failures] == ["compute", "checkpoint"]
+    assert run.recoveries == 2 and run.attempts == 3
+    assert [s["hist"] for s in run.final_states] == ref_hist
+    assert run.lost_work_total > 0
+    assert all(f.lost_work >= 0 for f in run.failures)
+    assert run.wallclock > ref_time
+    assert 0 < run.efficiency < 1
+    # checkpoint numbering continued across restarts, newest retained
+    names = [p.name for p in run.saved_dirs]
+    assert names == sorted(names) and len(names) == 2
+
+
+def test_crash_before_first_checkpoint_relaunches_from_scratch():
+    ref_time, ref_hist = _reference()
+    cluster = make_cluster("early", 4, interconnect="aries")
+    run = run_resilient(
+        cluster, FACTORY, n_ranks=4, interval=2.0,
+        faults=[NodeCrashAt(0.6, node=1)], seed=1, reference_time=ref_time,
+    )
+    assert run.completed
+    assert run.checkpoint_times == [] or run.checkpoint_times[0] > 0.6
+    assert [s["hist"] for s in run.final_states] == ref_hist
+    # all pre-crash work was lost: nothing had been checkpointed
+    assert run.failures[0].lost_work == pytest.approx(0.6)
+
+
+def test_replans_onto_spare_cluster_when_primary_cannot_fit():
+    ref_time, ref_hist = _reference()
+    primary = make_cluster("prim", 2, interconnect="aries")
+    spare = make_cluster("spare", 4, interconnect="tcp", default_mpi="mpich")
+    run = run_resilient(
+        primary, FACTORY, n_ranks=4, ranks_per_node=2, interval=1.0,
+        faults=[NodeCrashAt(1.4, node=0)], spare_cluster=spare, seed=1,
+        reference_time=ref_time,
+    )
+    assert run.completed
+    # 4 ranks at 2/node need 2 nodes; the primary has 1 healthy left
+    assert run.final_job.cluster is spare
+    assert run.final_job.world.impl.name == "mpich"
+    assert [s["hist"] for s in run.final_states] == ref_hist
+
+
+def test_retry_budget_exhausted():
+    run = run_resilient(
+        make_cluster("budget", 4, interconnect="aries"), FACTORY, n_ranks=4,
+        interval=1.0, faults=[NodeCrashAt(0.5, node=0)], max_restarts=0,
+        seed=1, reference_time=1.0,
+    )
+    assert not run.completed
+    assert run.stop_reason == "retry budget exhausted"
+    assert len(run.failures) == 1
+
+
+def test_no_viable_cluster_stops_cleanly():
+    cluster = make_cluster("tiny", 1, interconnect="tcp")
+    run = run_resilient(
+        cluster, FACTORY, n_ranks=2, interval=1.0,
+        faults=[NodeCrashAt(0.5, node=0)], seed=1, reference_time=1.0,
+    )
+    assert not run.completed
+    assert run.stop_reason == "no viable cluster"
+
+
+def test_rejects_bad_args():
+    cluster = make_cluster("bad", 2, interconnect="tcp")
+    with pytest.raises(ValueError):
+        run_resilient(cluster, FACTORY, n_ranks=2, interval=0.0,
+                      reference_time=1.0)
+    with pytest.raises(ValueError):
+        run_resilient(cluster, FACTORY, n_ranks=2, interval=1.0,
+                      max_restarts=-1, reference_time=1.0)

@@ -1,0 +1,94 @@
+"""Fault-model generators: scripted, exponential, correlated."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CorrelatedFaults,
+    ExponentialNodeFaults,
+    NetworkDegradation,
+    NodeCrash,
+    NodeCrashAt,
+    ScriptedFaults,
+    SlowIO,
+    node_crash_at,
+)
+from repro.simtime.rng import RngStreams
+
+
+def test_node_crash_at_convenience():
+    f = NodeCrashAt(2.5, node=3)
+    assert isinstance(f, NodeCrash)
+    assert f.time == 2.5 and f.nodes == (3,)
+    assert node_crash_at(2.5, 3) == f
+
+
+def test_scripted_faults_sorted_and_strictly_after():
+    model = ScriptedFaults([
+        NodeCrashAt(5.0, 1), NodeCrashAt(2.0, 0), SlowIO(time=3.0),
+    ])
+    first = model.next_fault(0.0)
+    assert first.time == 2.0
+    # strictly after: asking at exactly a fault's time skips it
+    assert model.next_fault(2.0).time == 3.0
+    assert model.next_fault(3.0).time == 5.0
+    assert model.next_fault(5.0) is None
+
+
+def test_exponential_determinism_and_monotonicity():
+    a = ExponentialNodeFaults([0, 1, 2], mtbf_seconds=10.0, rng=RngStreams(4))
+    b = ExponentialNodeFaults([0, 1, 2], mtbf_seconds=10.0, rng=RngStreams(4))
+    t = 0.0
+    seq_a, seq_b = [], []
+    for _ in range(20):
+        fa, fb = a.next_fault(t), b.next_fault(t)
+        assert fa == fb
+        assert fa.time > t
+        seq_a.append(fa)
+        seq_b.append(fb)
+        t = fa.time
+    assert seq_a == seq_b
+
+
+def test_exponential_query_order_independent():
+    a = ExponentialNodeFaults([0, 1], mtbf_seconds=5.0, rng=RngStreams(1))
+    b = ExponentialNodeFaults([0, 1], mtbf_seconds=5.0, rng=RngStreams(1))
+    # query far in the future first, then early: answers must match a
+    # fresh instance queried in natural order
+    late_a = a.next_fault(200.0)
+    early_a = a.next_fault(0.0)
+    early_b = b.next_fault(0.0)
+    late_b = b.next_fault(200.0)
+    assert early_a == early_b
+    assert late_a == late_b
+
+
+def test_exponential_mean_roughly_mtbf():
+    model = ExponentialNodeFaults([7], mtbf_seconds=8.0, rng=RngStreams(0))
+    times, t = [], 0.0
+    for _ in range(400):
+        f = model.next_fault(t)
+        times.append(f.time - t)
+        t = f.time
+    assert 8.0 * 0.8 < np.mean(times) < 8.0 * 1.2
+
+
+def test_exponential_rejects_bad_mtbf():
+    with pytest.raises(ValueError):
+        ExponentialNodeFaults([0], mtbf_seconds=0.0, rng=RngStreams(0))
+
+
+def test_correlated_expands_to_rack():
+    base = ScriptedFaults([NodeCrashAt(1.0, 2), NodeCrashAt(2.0, 5)])
+    model = CorrelatedFaults(base, groups=[(0, 1, 2, 3), (4, 5, 6, 7)])
+    f1 = model.next_fault(0.0)
+    assert f1.nodes == (0, 1, 2, 3)
+    f2 = model.next_fault(1.0)
+    assert f2.nodes == (4, 5, 6, 7)
+
+
+def test_correlated_passes_non_crash_faults_through():
+    brownout = NetworkDegradation(time=1.0, duration=2.0, alpha_mult=3.0)
+    model = CorrelatedFaults(ScriptedFaults([brownout]), groups=[(0, 1)])
+    assert model.next_fault(0.0) == brownout
+    assert model.next_fault(1.0) is None

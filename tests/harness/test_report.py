@@ -1,8 +1,6 @@
 """The report generator module (wiring only; figures have their own tests)."""
 
-import pathlib
 
-import pytest
 
 import repro.harness.report as report_mod
 from repro.harness.results import Table

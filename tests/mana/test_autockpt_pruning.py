@@ -1,0 +1,85 @@
+"""CheckpointPruner retention and periodic-loop boundary semantics."""
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana.autockpt import (
+    CheckpointPruner,
+    run_with_periodic_checkpoints,
+)
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("prune", 2, interconnect="aries")
+
+
+def _one_ckpt(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=6))
+    ckpt, _ = job.checkpoint_at(0.5)
+    return ckpt
+
+
+def test_pruner_keeps_newest_generations(cluster, tmp_path):
+    ckpt = _one_ckpt(cluster)
+    pruner = CheckpointPruner(tmp_path, keep=2)
+    for _ in range(4):
+        pruner.save(ckpt)
+    names = sorted(p.name for p in tmp_path.iterdir())
+    assert names == ["ckpt_0002", "ckpt_0003"]
+    assert [p.name for p in pruner.saved_dirs] == names
+    assert pruner.latest_dir.name == "ckpt_0003"
+
+
+def test_pruner_never_deletes_the_newest(cluster, tmp_path):
+    ckpt = _one_ckpt(cluster)
+    pruner = CheckpointPruner(tmp_path, keep=1)
+    for i in range(3):
+        target = pruner.save(ckpt)
+        # after every save, the set just written is on disk and readable
+        assert target.exists()
+        assert pruner.latest_dir == target
+        assert [p.name for p in pruner.saved_dirs] == [f"ckpt_{i:04d}"]
+
+
+def test_pruner_rejects_keep_below_one(tmp_path):
+    with pytest.raises(ValueError):
+        CheckpointPruner(tmp_path, keep=0)
+
+
+def test_until_on_interval_boundary_does_not_double_checkpoint(cluster):
+    # until == 2 * interval: checkpoint at t=1 only; the loop must stop at
+    # the boundary rather than cutting a redundant checkpoint there
+    job = launch_small(cluster, allreduce_factory(n_iters=50))
+    run = run_with_periodic_checkpoints(job, interval=1.0, until=2.0)
+    assert not run.completed
+    assert len(run.reports) == 1
+
+    job2 = launch_small(make_cluster("prune2", 2, interconnect="aries"),
+                        allreduce_factory(n_iters=50))
+    run2 = run_with_periodic_checkpoints(job2, interval=1.0, until=1.0)
+    assert not run2.completed
+    assert len(run2.reports) == 0
+
+
+def test_total_time_is_finish_time_not_deadline(cluster):
+    # the engine clock lands on each run_until deadline; total_time must
+    # still report when the job finished, not the overshot deadline
+    factory = allreduce_factory(n_iters=4)
+    ref = launch_small(make_cluster("prune3", 2, interconnect="aries"),
+                       factory)
+    ref_time = ref.run_to_completion()
+
+    job = launch_small(cluster, factory)
+    run = run_with_periodic_checkpoints(job, interval=100.0)
+    assert run.completed and run.reports == []
+    assert run.total_time == pytest.approx(ref_time)
+    assert run.total_time < 100.0
+
+
+def test_loop_rejects_keep_below_one(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=4))
+    with pytest.raises(ValueError):
+        run_with_periodic_checkpoints(job, interval=1.0, keep=0)

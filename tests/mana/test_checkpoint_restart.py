@@ -5,7 +5,6 @@ The headline invariant (DESIGN.md #1): run-to-completion results equal
 implementations, interconnects, clusters, and rank layouts.
 """
 
-import numpy as np
 import pytest
 
 from repro.hardware.cluster import make_cluster

@@ -1,0 +1,111 @@
+"""Coordinator abort path: a rank dies mid-protocol and the round must
+abort cleanly — no hang, no misdirected-reply RuntimeError — with the
+survivors resumed."""
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana.coordinator import CheckpointAborted
+from repro.mana.protocol import CkptMsg
+from repro.mprog import Compute, Loop, Program, Seq
+
+from tests.mana.conftest import allreduce_factory, launch_small
+
+
+def _tick(s):
+    s["steps"] = s.get("steps", 0) + 1
+
+
+def compute_only_factory(n_iters=40, cost=0.1):
+    """No communication: survivors can finish even with a peer dead."""
+
+    def factory(rank, size):
+        return Program(
+            Seq(Loop(n_iters, Compute(_tick, cost=cost))), name="compute-only"
+        )
+
+    return factory
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("abort", 4, interconnect="aries")
+
+
+def _kill_and_notify(job, rank):
+    job.runtimes[rank].kill()
+    job.coordinator.notify_rank_failure(rank)
+
+
+def test_abort_mid_round_resolves_completion(cluster):
+    job = launch_small(cluster, compute_only_factory(), n_ranks=4)
+    job.run_until(0.5)
+    done = job.coordinator.request_checkpoint()
+    # step into the protocol so replies are genuinely in flight
+    for _ in range(3):
+        job.engine.step()
+    assert job.coordinator._phase == "collect-states"
+    _kill_and_notify(job, 2)
+    assert done.done
+    err = done.value
+    assert isinstance(err, CheckpointAborted)
+    assert err.rank == 2 and err.phase == "collect-states"
+    # in-flight stale replies drain without raising, survivors finish
+    job.engine.run()
+    for rank, rt in enumerate(job.runtimes):
+        if rank == 2:
+            assert rt.driver.parked_at == "dead"
+        else:
+            assert rt.driver.parked_at == "finished"
+            assert rt.driver.interp.state["steps"] == 40
+
+
+def test_abort_during_quiesced_phase_resumes_survivors(cluster):
+    job = launch_small(cluster, compute_only_factory(), n_ranks=4)
+    job.run_until(0.5)
+    done = job.coordinator.request_checkpoint()
+    while job.coordinator._phase != "drain":
+        assert job.engine.step(), "protocol stalled before drain"
+    _kill_and_notify(job, 1)
+    assert isinstance(done.value, CheckpointAborted)
+    assert done.value.phase == "drain"
+    job.engine.run()
+    survivors = [rt for r, rt in enumerate(job.runtimes) if r != 1]
+    assert all(rt.driver.parked_at == "finished" for rt in survivors)
+
+
+def test_job_checkpoint_raises_on_abort(cluster):
+    job = launch_small(cluster, compute_only_factory(), n_ranks=4)
+    job.run_until(0.5)
+    job.engine.call_after(0.001, _kill_and_notify, job, 3)
+    with pytest.raises(CheckpointAborted) as exc:
+        job.checkpoint()
+    assert exc.value.rank == 3
+
+
+def test_new_checkpoint_refused_after_failure(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=6), n_ranks=4)
+    job.run_until(0.5)
+    job.coordinator.notify_rank_failure(0)
+    with pytest.raises(RuntimeError, match="restart from the last checkpoint"):
+        job.coordinator.request_checkpoint()
+
+
+def test_notify_is_idempotent_and_safe_when_idle(cluster):
+    job = launch_small(cluster, allreduce_factory(n_iters=6), n_ranks=4)
+    job.coordinator.notify_rank_failure(1)
+    job.coordinator.notify_rank_failure(1)  # no protocol in flight: no-op
+    assert job.coordinator.failed_ranks == {1}
+
+
+def test_stale_reply_after_abort_is_dropped(cluster):
+    job = launch_small(cluster, compute_only_factory(), n_ranks=4)
+    job.run_until(0.5)
+    job.coordinator.request_checkpoint()
+    for _ in range(3):
+        job.engine.step()
+    _kill_and_notify(job, 0)
+    # a reply straggling in from any rank must be ignored, not a protocol
+    # error — the round it belonged to no longer exists
+    job.coordinator._on_reply(1, CkptMsg.STATE_REPLY, None)
+    job.coordinator._on_reply(0, CkptMsg.BOOKMARKS, {})

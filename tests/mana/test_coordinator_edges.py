@@ -1,6 +1,5 @@
 """Coordinator edge cases and failure-injection workflows."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.cluster import make_cluster

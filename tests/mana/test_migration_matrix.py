@@ -12,7 +12,7 @@ import itertools
 import pytest
 
 from repro.hardware.cluster import make_cluster
-from repro.mana import launch_mana, restart
+from repro.mana import restart
 from repro.mpilib.impls import IMPLEMENTATIONS
 from repro.net import INTERCONNECTS
 

@@ -2,7 +2,6 @@
 bit-identical results (DESIGN.md invariant 1)."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,14 +2,13 @@
 values under MANA as natively (only timing differs)."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.hardware.cluster import make_cluster
 from repro.mana import launch_mana
 from repro.mpilib import MAX, MIN, SUM, launch
-from repro.mprog import Call, Compute, If, Loop, Program, Seq
+from repro.mprog import Call, Compute, Loop, Program, Seq
 from repro.runtime.native import NativeJob
 from repro.simtime import Engine
 

@@ -9,7 +9,7 @@ from repro.hardware.cluster import make_cluster
 from repro.mana import launch_mana, restart
 from repro.mana.virtualize import HandleKind
 from repro.mpilib import DOUBLE, SUM
-from repro.mprog import Call, Compute, If, Loop, Program, Seq
+from repro.mprog import Call, Compute, Loop, Program, Seq
 
 
 # ---------------------------------------------------------------- programs

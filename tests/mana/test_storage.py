@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.hardware.cluster import make_cluster
-from repro.mana import CheckpointError, launch_mana, restart
+from repro.mana import CheckpointError, restart
 from repro.mana.storage import describe_checkpoint, load_checkpoint, save_checkpoint
 
 from tests.mana.conftest import allreduce_factory, launch_small

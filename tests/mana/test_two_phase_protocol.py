@@ -12,7 +12,7 @@ import pytest
 
 from repro.hardware.cluster import make_cluster
 from repro.mana import launch_mana, restart
-from repro.mana.protocol import RankCkptState, WrapperPhase
+from repro.mana.protocol import WrapperPhase
 from repro.mpilib import SUM
 from repro.mprog import Call, Compute, Loop, Program, Seq
 
@@ -115,7 +115,6 @@ def test_trivial_barrier_interrupted_and_reissued(cluster):
     ckpt, _ = job.checkpoint_at(0.25)
     phases = [rt.protocol.phase for rt in job.runtimes]
     assert WrapperPhase.PHASE_1 in phases or WrapperPhase.ENTRY_HELD in phases
-    barriers_before = [rt.stats.trivial_barriers for rt in job.runtimes]
 
     dst = make_cluster("dst", 4, interconnect="infiniband")
     job2 = restart(ckpt, dst, factory, ranks_per_node=1, mpi="openmpi")

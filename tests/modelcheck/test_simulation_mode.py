@@ -1,6 +1,5 @@
 """Random-walk (TLC simulation mode) checking at scales beyond exhaustion."""
 
-import pytest
 
 from repro.modelcheck import ModelChecker, NaiveModel, TwoPhaseModel
 from repro.modelcheck.checker import Model

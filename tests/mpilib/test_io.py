@@ -1,6 +1,5 @@
 """MPI-IO substrate: SimFilesystem, MpiFile, endpoint.file_open."""
 
-import numpy as np
 import pytest
 
 from repro.hardware.cluster import make_cluster

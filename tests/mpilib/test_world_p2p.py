@@ -165,7 +165,7 @@ def test_intranode_faster_than_internode():
         engine, world = make_world(n_ranks=2, n_nodes=n_nodes,
                                    ranks_per_node=ranks_per_node)
         world.endpoints[0].send(1, np.zeros(1 << 12, dtype=np.uint8))
-        r = world.endpoints[1].recv(source=0)
+        world.endpoints[1].recv(source=0)
         engine.run()
         return engine.now
 
@@ -194,7 +194,8 @@ def test_cancel_recv_wrong_kind_raises():
 
 def test_waitall():
     engine, world = make_world()
-    reqs = [world.endpoints[0].isend(1, np.array([float(i)])) for i in range(3)]
+    for i in range(3):
+        world.endpoints[0].isend(1, np.array([float(i)]))
     rreqs = [world.endpoints[1].irecv(source=0) for _ in range(3)]
     done = world.endpoints[1].waitall(rreqs)
     engine.run()

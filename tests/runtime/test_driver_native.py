@@ -5,8 +5,8 @@ import pytest
 
 from repro.hardware.cluster import make_cluster
 from repro.mpilib import SUM, launch
-from repro.mprog import Call, Compute, Interpreter, Loop, Program, ProgramState, Seq, While
-from repro.runtime import DriverError, NativeApi, NativeJob, RankDriver, run_native
+from repro.mprog import Call, Compute, Loop, Program, Seq, While
+from repro.runtime import DriverError, NativeJob, RankDriver, run_native
 from repro.simtime import Engine
 
 

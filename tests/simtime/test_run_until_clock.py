@@ -1,0 +1,70 @@
+"""Engine.run(until=...) clock semantics.
+
+Regression tests for the historical inconsistency where ``run(until=T)``
+left ``now`` at the last event's time when the queue drained before ``T``,
+but at exactly ``T`` when events remained — callers could not rely on the
+clock landing on the deadline.  The contract now: a finite ``until`` always
+advances the clock to ``until`` (never backwards)."""
+
+import math
+
+from repro.simtime import Engine
+
+
+def test_run_until_advances_clock_to_deadline_past_last_event():
+    eng = Engine()
+    seen = []
+    eng.call_after(1.0, seen.append, 1)
+    t = eng.run(until=5.0)
+    assert seen == [1]
+    assert t == 5.0 and eng.now == 5.0
+
+
+def test_run_until_on_empty_queue_advances_clock():
+    eng = Engine()
+    assert eng.run(until=2.0) == 2.0
+    assert eng.now == 2.0
+
+
+def test_run_until_in_the_past_never_rewinds():
+    eng = Engine()
+    eng.call_after(4.0, lambda: None)
+    eng.run(until=5.0)
+    assert eng.run(until=3.0) == 5.0
+    assert eng.now == 5.0
+
+
+def test_run_without_until_stops_at_last_event():
+    eng = Engine()
+    eng.call_after(1.5, lambda: None)
+    assert eng.run() == 1.5
+    assert eng.now == 1.5
+
+
+def test_run_until_infinity_behaves_like_no_deadline():
+    eng = Engine()
+    eng.call_after(1.5, lambda: None)
+    assert eng.run(until=math.inf) == 1.5
+
+
+def test_deferred_events_beyond_deadline_survive():
+    eng = Engine()
+    seen = []
+    eng.call_after(1.0, seen.append, "a")
+    eng.call_after(7.0, seen.append, "b")
+    eng.run(until=3.0)
+    assert seen == ["a"] and eng.now == 3.0
+    eng.run()
+    assert seen == ["a", "b"] and eng.now == 7.0
+
+
+def test_next_event_time_property():
+    eng = Engine()
+    assert eng.next_event_time is None
+    h1 = eng.call_after(1.0, lambda: None)
+    eng.call_after(2.0, lambda: None)
+    assert eng.next_event_time == 1.0
+    h1.cancel()
+    assert eng.next_event_time == 2.0
+    eng.run()
+    assert eng.next_event_time is None
