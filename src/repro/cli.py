@@ -10,7 +10,9 @@ in production (``mana_launch`` / ``mana_restart`` / coordinator status):
   cluster, MPI implementation, interconnect and rank layout;
 * ``repro inspect`` — describe a saved checkpoint directory;
 * ``repro verify`` — model-check the two-phase protocol (§2.6);
-* ``repro bench`` — regenerate one of the paper's figures.
+* ``repro bench`` — regenerate one of the paper's figures;
+* ``repro trace`` — run an app or example with structured tracing on and
+  write a Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
 """
 
 from __future__ import annotations
@@ -72,6 +74,28 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "resilience"])
     bench.add_argument("--scale", default="small",
                        choices=["small", "medium", "paper"])
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a workload with tracing enabled and write a Chrome trace",
+    )
+    trace.add_argument("target",
+                       help="an application name (see `repro apps`) or the "
+                            "path of an examples/*.py script")
+    _cluster_args(trace)
+    trace.add_argument("--ranks", type=int, default=8)
+    trace.add_argument("--steps", type=int, default=None,
+                       help="override the app's step count")
+    trace.add_argument("--checkpoint-at", type=float, default=None,
+                       metavar="T", help="cut a checkpoint at virtual time T "
+                                         "(app targets only)")
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="trace output path (default: trace.json)")
+    trace.add_argument("--engine-events", action="store_true",
+                       help="also record per-dispatch engine spans "
+                            "(high volume)")
+    trace.add_argument("--metrics", action="store_true",
+                       help="print the flat metrics table after the run")
     return parser
 
 
@@ -228,6 +252,65 @@ def cmd_bench(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    """``repro trace``: run a workload with tracing on, write a Chrome trace.
+
+    The target is either an application name (run under MANA exactly like
+    ``repro run``) or the path of a Python example script, executed with
+    process-wide tracing enabled so every engine it creates is captured.
+    """
+    import contextlib
+    import runpy
+
+    from repro.obs import (
+        Category,
+        disable_tracing,
+        drain_tracers,
+        enable_tracing,
+        metrics_table,
+        write_chrome_trace,
+    )
+
+    categories = None if args.engine_events else Category.DEFAULT
+    enable_tracing(categories)
+    try:
+        if args.target.endswith(".py"):
+            label = args.target.rsplit("/", 1)[-1].removesuffix(".py")
+            with contextlib.redirect_stdout(out):
+                runpy.run_path(args.target, run_name="__main__")
+        else:
+            from repro.harness.experiments import _launch_mana_app
+
+            label = args.target
+            spec, cfg, _factory = _app_factory(args.target, args.steps)
+            n_ranks = spec.valid_ranks(args.ranks)
+            cluster = _make_cluster(args)
+            job = _launch_mana_app(cluster, spec, cfg, n_ranks,
+                                   -(-n_ranks // args.nodes))
+            if args.checkpoint_at is not None:
+                job.checkpoint_at(args.checkpoint_at)
+            job.run_to_completion()
+    finally:
+        tracers = drain_tracers()
+        disable_tracing()
+
+    doc = write_chrome_trace(args.out, tracers, label=label)
+    n_events = sum(len(t.events) for t in tracers)
+    dropped = sum(t.dropped for t in tracers)
+    print(f"trace: {len(tracers)} engine(s), {n_events} events"
+          + (f" ({dropped} dropped)" if dropped else "")
+          + f", {len(doc['traceEvents'])} trace entries -> {args.out}",
+          file=out)
+    print("open it at https://ui.perfetto.dev (or chrome://tracing)",
+          file=out)
+    if args.metrics:
+        for i, tracer in enumerate(tracers, start=1):
+            print(file=out)
+            print(metrics_table(tracer.engine.metrics,
+                                title=f"metrics: engine-{i}"), file=out)
+    return 0
+
+
 _COMMANDS = {
     "apps": cmd_apps,
     "run": cmd_run,
@@ -235,6 +318,7 @@ _COMMANDS = {
     "inspect": cmd_inspect,
     "verify": cmd_verify,
     "bench": cmd_bench,
+    "trace": cmd_trace,
 }
 
 

@@ -22,6 +22,7 @@ from repro.faults.models import (
     SlowIO,
 )
 from repro.hardware.cluster import Cluster
+from repro.obs.events import Category
 from repro.simtime import Engine
 
 
@@ -93,6 +94,16 @@ class FaultInjector:
 
     def _fire(self, fault: Fault) -> None:
         self._handle = None
+        tr = self.engine.tracer
+        if tr.enabled:
+            args = {"global_time": fault.time}
+            if isinstance(fault, NodeCrash):
+                args["nodes"] = list(fault.nodes)
+            tr.instant(f"fault:{type(fault).__name__}", cat=Category.FAULT,
+                       **args)
+        self.engine.metrics.counter(
+            "faults.injected", kind=type(fault).__name__
+        ).inc()
         self.apply(fault)
         self.injected.append(InjectedFault(fault, self.engine.now))
         self._schedule_next()

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import sys
 import time
+import traceback
 
 from repro.harness import (
     fig2_single_node_overhead,
@@ -45,6 +46,32 @@ def modelcheck_table() -> Table:
     return out
 
 
+def observability_metrics_table() -> Table:
+    """Run a small checkpointed workload and tabulate its metrics registry.
+
+    Exercises the ``repro.obs`` counters end to end (MPI bytes, FS switches,
+    lookups, checkpoint histograms) on a 4-rank job with one mid-run
+    checkpoint, and returns the flat metrics table.
+    """
+    from repro.apps import get_app
+    from repro.harness.experiments import _launch_mana_app
+    from repro.hardware.cluster import make_cluster
+    from repro.obs.export import metrics_table
+
+    spec = get_app("hpcg")
+    cfg = spec.default_config.scaled(n_steps=4)
+    cluster = make_cluster("obs", 2, interconnect="aries",
+                           default_mpi="craympich")
+    job = _launch_mana_app(cluster, spec, cfg, n_ranks=4, ranks_per_node=2)
+    job.checkpoint_at(0.05)
+    job.run_to_completion()
+    table = metrics_table(job.engine.metrics, title="observability metrics")
+    table.notes.append(
+        "4-rank hpcg on 2 aries/craympich nodes, one checkpoint at t=0.05"
+    )
+    return table
+
+
 RUNNERS = [
     ("fig2", lambda: fig2_single_node_overhead(scale="paper")),
     ("fig3", lambda: fig3_multi_node_overhead(scale="medium")),
@@ -56,21 +83,52 @@ RUNNERS = [
     ("fig9", fig9_cross_cluster_migration),
     ("mem", memory_overhead_analysis),
     ("modelcheck", modelcheck_table),
+    ("obs", observability_metrics_table),
 ]
+
+
+def generate(runners=None, log=None) -> tuple[str, list[tuple[str, BaseException]]]:
+    """Run every experiment and assemble the report text.
+
+    Returns ``(report, errors)``.  A runner that raises no longer kills the
+    whole sweep (and its rows are no longer silently absent): the exception
+    is collected, the remaining runners still execute, and the failures are
+    surfaced in a trailing ``## errors`` section of the report.
+    """
+    runners = RUNNERS if runners is None else runners
+    log = log if log is not None else sys.stderr
+    chunks = []
+    errors: list[tuple[str, BaseException]] = []
+    for name, runner in runners:
+        t0 = time.time()
+        try:
+            table = runner()
+        except Exception as exc:
+            errors.append((name, exc))
+            print(f"[{name}] FAILED: {exc!r}", file=log, flush=True)
+            continue
+        elapsed = time.time() - t0
+        text = render_table(table)
+        chunks.append(text + f"\n  (generated in {elapsed:.1f}s wall)\n")
+        print(f"[{name}] done in {elapsed:.1f}s", file=log, flush=True)
+    if errors:
+        lines = ["## errors", "",
+                 "The following experiments raised mid-sweep; their rows are "
+                 "missing above."]
+        for name, exc in errors:
+            lines.append(f"- `{name}`: {type(exc).__name__}: {exc}")
+            tb = "".join(
+                traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ).rstrip()
+            lines.append("  ```\n  " + tb.replace("\n", "\n  ") + "\n  ```")
+        chunks.append("\n".join(lines) + "\n")
+    return "\n\n".join(chunks), errors
 
 
 def main(argv: list[str]) -> None:
     """CLI entry point; returns a process exit code."""
     out_path = argv[1] if len(argv) > 1 else None
-    chunks = []
-    for name, runner in RUNNERS:
-        t0 = time.time()
-        table = runner()
-        elapsed = time.time() - t0
-        text = render_table(table)
-        chunks.append(text + f"\n  (generated in {elapsed:.1f}s wall)\n")
-        print(f"[{name}] done in {elapsed:.1f}s", file=sys.stderr, flush=True)
-    report = "\n\n".join(chunks)
+    report, _errors = generate()
     if out_path:
         with open(out_path, "w") as fh:
             fh.write(report + "\n")

@@ -25,6 +25,7 @@ import numpy as np
 from repro.hardware.storage import LustreModel
 from repro.mana.checkpoint_image import CheckpointSet
 from repro.mana.protocol import CkptMsg, RankCkptState
+from repro.obs.events import Category
 from repro.simtime import Completion, Engine
 
 
@@ -116,6 +117,8 @@ class Coordinator:
         self._t_write_start = 0.0
         self._rounds = 0
         self.checkpoints_taken = 0
+        #: open protocol-phase spans, keyed by span name (tracing only)
+        self._spans: dict[str, Any] = {}
         #: ranks declared dead (by the failure detector or an injector);
         #: their late replies are dropped and new checkpoints are refused.
         self.failed_ranks: set[int] = set()
@@ -135,6 +138,12 @@ class Coordinator:
         self._done = Completion(self.engine, label="coordinator:ckpt")
         self._t0 = self.engine.now
         self._rounds = 0
+        tr = self.engine.tracer
+        if tr.enabled:
+            self._spans = {
+                "ckpt": tr.begin("ckpt", cat=Category.PROTOCOL),
+                "ckpt:intent": tr.begin("ckpt:intent", cat=Category.PROTOCOL),
+            }
         self._round(CkptMsg.INTEND_TO_CKPT)
         return self._done
 
@@ -157,6 +166,12 @@ class Coordinator:
         self._expect_kind = None
         self._replies = {}
         done, self._done = self._done, None
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.instant("ckpt:abort", cat=Category.PROTOCOL,
+                       rank=rank, phase=aborted_phase)
+            self._spans = {}
+        self.engine.metrics.counter("ckpt.aborted").inc()
         # Resume the survivors: un-quiesce, release held wrapper entries.
         for i, rt in enumerate(self.runtimes):
             if i in self.failed_ranks:
@@ -250,6 +265,16 @@ class Coordinator:
         self._start_phase("collect-states", CkptMsg.STATE_REPLY)
         self._broadcast(msg, lambda i: None)
 
+    def _trace_phase(self, close: str, open_next: Optional[str] = None,
+                     **close_args) -> None:
+        """Close the protocol span ``close`` and optionally open the next."""
+        tr = self.engine.tracer
+        if not tr.enabled:
+            return
+        tr.end(self._spans.pop(close, None), **close_args)
+        if open_next is not None:
+            self._spans[open_next] = tr.begin(open_next, cat=Category.PROTOCOL)
+
     def _phase_complete(self, replies: dict[int, Any]) -> None:
         phase = self._phase
         if phase == "collect-states":
@@ -260,6 +285,7 @@ class Coordinator:
                 self._round(CkptMsg.EXTRA_ITERATION)
                 return
             # all ready or safely parked in-phase-1: checkpoint is safe
+            self._trace_phase("ckpt:intent", "ckpt:quiesce", rounds=self._rounds)
             self._start_phase("bookmarks", CkptMsg.BOOKMARKS)
             self._broadcast(CkptMsg.DO_CKPT, lambda i: None)
         elif phase == "bookmarks":
@@ -269,10 +295,13 @@ class Coordinator:
                 for dst, count in sent.items():
                     expected[dst] += count
             self._t_drain_start = self.engine.now
+            self._trace_phase("ckpt:quiesce", "ckpt:drain",
+                              expected_total=sum(expected))
             self._start_phase("drain", CkptMsg.DRAINED)
             self._broadcast(CkptMsg.DRAIN, lambda i: expected[i])
         elif phase == "drain":
             self._t_drain_end = self.engine.now
+            self._trace_phase("ckpt:drain", "ckpt:write")
             sizes = [int(replies[r]) for r in range(len(self.runtimes))]
             report = self.storage.burst(sizes, self.node_of, rng=self.rng)
             self._t_write_start = self.engine.now
@@ -287,6 +316,18 @@ class Coordinator:
             drain = self._t_drain_end - self._t_drain_start
             write = t_write_end - self._t_write_start
             self.checkpoints_taken += 1
+            tr = self.engine.tracer
+            if tr.enabled:
+                self._trace_phase("ckpt:write")
+                self._trace_phase("ckpt", rounds=self._rounds,
+                                  drain_s=drain, write_s=write)
+                tr.instant("ckpt:resume", cat=Category.PROTOCOL)
+            m = self.engine.metrics
+            m.counter("ckpt.completed").inc()
+            m.histogram("ckpt.drain_seconds").observe(drain)
+            m.histogram("ckpt.write_seconds").observe(write)
+            m.gauge("ckpt.last_total_seconds").set(total)
+            m.gauge("ckpt.last_rounds").set(self._rounds)
             self._report = CheckpointReport(
                 total_time=total,
                 drain_time=drain,

@@ -50,6 +50,23 @@ class CkptMsg(enum.Enum):
     REVISE_ACK = "revise-ack"
 
 
+#: coordinator phase -> the name of the trace span covering it
+#: (``repro.obs`` vocabulary; see docs/observability.md).  The coordinator
+#: opens/closes these spans as the protocol advances; ``harness`` tests use
+#: the same mapping to locate phases in a captured trace.
+PHASE_SPANS = {
+    "collect-states": "ckpt:intent",
+    "bookmarks": "ckpt:quiesce",
+    "drain": "ckpt:drain",
+    "write": "ckpt:write",
+}
+
+
+def ctrl_instant_name(msg: "CkptMsg") -> str:
+    """Trace-instant name for a control-plane message arriving at a rank."""
+    return f"ctrl:{msg.value}"
+
+
 class RankCkptState(enum.Enum):
     """What a rank reports to the coordinator (Algorithm 2)."""
 

@@ -25,11 +25,13 @@ from repro.mana.protocol import (
     RankCkptState,
     RankProtocol,
     WrapperPhase,
+    ctrl_instant_name,
 )
 from repro.mana.record_replay import RecordLog, ReplayEngine
 from repro.mana.split_process import SplitProcess
 from repro.mana.virtualize import VCOMM_WORLD, HandleKind, VirtualHandleTable
 from repro.mana.wrappers import ManaApi
+from repro.obs.events import Category
 from repro.mpilib.comm import ANY_SOURCE, ANY_TAG, Communicator
 from repro.mpilib.world import MpiEndpoint, MsgRecord, Request, Status
 from repro.mprog.ast import Program
@@ -290,6 +292,13 @@ class ManaRankRuntime:
         #: the leaf completes (a checkpoint mid-leaf re-executes the leaf,
         #: which must find the records again) — transient by design
         self._waited_by_leaf: dict[tuple, list[tuple[str, int]]] = {}
+
+        #: open per-rank checkpoint spans (tracing only)
+        self._drain_span = None
+        #: drained-message counter (memoized; metrics are always on)
+        self._m_drained = engine.metrics.counter(
+            "mana.drained_messages", rank=rank
+        )
 
         self.table.register(HandleKind.COMM, endpoint.comm_world,
                             virtual=VCOMM_WORLD)
@@ -585,6 +594,10 @@ class ManaRankRuntime:
         """Receive one control-plane message from the coordinator."""
         if not self.alive:
             return  # delivered to a crashed node: silently lost
+        tr = self.engine.tracer
+        if tr.enabled:
+            tr.instant(ctrl_instant_name(msg), cat=Category.PROTOCOL,
+                       rank=self.rank)
         if msg in (CkptMsg.INTEND_TO_CKPT, CkptMsg.EXTRA_ITERATION):
             self.protocol.mode = ProtocolMode.PRE_CKPT
             state = self.protocol.classify()
@@ -623,6 +636,12 @@ class ManaRankRuntime:
     # ------------------------------------------------------------- draining
 
     def _begin_drain(self, expected_received_total: int) -> None:
+        tr = self.engine.tracer
+        if tr.enabled:
+            self._drain_span = tr.begin(
+                "rank:drain", cat=Category.CHECKPOINT, rank=self.rank,
+                expected=expected_received_total,
+            )
         self._drain_expected = expected_received_total
         self.endpoint.drain_sink = self._drain_sink
         for record in self.endpoint.harvest_unexpected():
@@ -646,12 +665,17 @@ class ManaRankRuntime:
         ))
         self.counters.count_receive()
         self.stats.drained_messages += 1
+        self._m_drained.inc()
 
     def _check_drained(self) -> None:
         if self._drain_expected is None:
             return
         if self.counters.received_total >= self._drain_expected:
             self._drain_expected = None
+            tr = self.engine.tracer
+            if tr.enabled:
+                tr.end(self._drain_span, drained=len(self.buffer))
+                self._drain_span = None
             self._reply(CkptMsg.DRAINED, self.proc.upper_bytes())
 
     # ---------------------------------------------------------------- image
@@ -688,10 +712,20 @@ class ManaRankRuntime:
             taken_at=self.engine.now,
         )
         self.stats.checkpoints += 1
+        tr = self.engine.tracer
+        span = None
+        if tr.enabled:
+            span = tr.begin("rank:write", cat=Category.CHECKPOINT,
+                            rank=self.rank, bytes=image.size_bytes)
         self.engine.call_after(
-            duration, self._reply, CkptMsg.WRITE_DONE, image,
+            duration, self._write_done, span, image,
             label=f"mana-r{self.rank}:write",
         )
+
+    def _write_done(self, span, image: CheckpointImage) -> None:
+        """The simulated image write finished: close the span, report done."""
+        self.engine.tracer.end(span)
+        self._reply(CkptMsg.WRITE_DONE, image)
 
     # ---------------------------------------------------------------- resume
 

@@ -34,6 +34,7 @@ from repro.mpilib.comm import ANY_SOURCE, ANY_TAG, Communicator, Group
 from repro.mpilib.datatypes import Datatype, contiguous, struct, vector
 from repro.mpilib.ops import ReduceOp
 from repro.mpilib.world import Status
+from repro.obs.events import Category
 from repro.runtime.api import MpiApi
 from repro.simtime import Completion
 
@@ -60,6 +61,12 @@ class ManaApi(MpiApi):
 
     def __init__(self, runtime: "repro.mana.rank_runtime.ManaRankRuntime") -> None:
         self.rt = runtime
+        # Interposition-mechanism counters (§3.3), memoized for the hot path.
+        metrics = runtime.engine.metrics
+        self._m_fs = metrics.counter("mana.fs_switches", rank=runtime.rank)
+        self._m_lookups = metrics.counter(
+            "mana.vhandle_lookups", rank=runtime.rank
+        )
 
     # ----------------------------------------------------------- properties
 
@@ -86,10 +93,21 @@ class ManaApi(MpiApi):
         )
 
     def _overhead(self, handles: int = 1, p2p: bool = False) -> float:
+        # One interposed call = upper->lower->upper (two FS-register
+        # switches) plus one table lookup per translated handle.
+        self._m_fs.inc(2)
+        self._m_lookups.inc(handles)
         cost = self.rt.proc.fs_transition_cost() + handles * LOOKUP_COST
         if p2p:
             cost += P2P_METADATA_COST
         return cost
+
+    def _trace_call(self, name: str, out: Completion) -> None:
+        """Record an MPI-call span from now until ``out`` resolves."""
+        tr = self.rt.engine.tracer
+        if tr.enabled:
+            span = tr.begin(name, cat=Category.MPI, rank=self.rank)
+            out.on_done(lambda _v: tr.end(span))
 
     def _after_overhead(self, cost: float, fn: Callable[[], None]) -> None:
         """Charge interposition cost *serially* on this rank's CPU.
@@ -119,6 +137,7 @@ class ManaApi(MpiApi):
         self.rt.counters.count_send(dst_world)
         self.rt.profile_op("send", size if size is not None else 0)
         out = Completion(self.rt.engine, label=f"mana-send-r{self.rank}")
+        self._trace_call("send", out)
 
         def issue() -> None:
             self.rt.endpoint.send(
@@ -139,6 +158,7 @@ class ManaApi(MpiApi):
         )
         self.rt.profile_op("recv")
         out = Completion(self.rt.engine, label=f"mana-recv-r{self.rank}")
+        self._trace_call("recv", out)
         pend = self.rt.add_pending_recv(vcomm, src_world, tag, out)
 
         def attempt() -> None:
@@ -261,6 +281,7 @@ class ManaApi(MpiApi):
         real = self._resolve_comm(vcomm)
         rt.profile_op(label)
         out = Completion(rt.engine, label=f"mana-{label}-r{self.rank}")
+        self._trace_call(label, out)
 
         if not rt.two_phase_enabled:
             # Ablation: bare interposition, no Algorithm-1 wrapper.
@@ -458,6 +479,7 @@ class ManaApi(MpiApi):
         if rec is None:
             raise VirtualizationError(f"unknown request handle {vreq}")
         out = Completion(rt.engine, label=f"mana-wait-r{self.rank}")
+        self._trace_call("wait", out)
         real = self._resolve_comm(rec.vcomm)
 
         def enter() -> None:

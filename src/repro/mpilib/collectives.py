@@ -137,3 +137,26 @@ def collective_duration(op: str, size: int, p: int, net: "Interconnect",
     except KeyError:
         raise ValueError(f"no timing model for collective {op!r}") from None
     return model(size, p, net, impl)
+
+
+#: collectives whose nominal algorithm runs in ceil(log2 p) rounds
+_LOG_ROUND_OPS = frozenset(
+    {"barrier", "bcast", "reduce", "allreduce", "scan", "gather", "scatter"}
+)
+#: collectives whose nominal algorithm runs in p-1 rounds (ring/pairwise)
+_LINEAR_ROUND_OPS = frozenset({"allgather", "alltoall", "reduce_scatter"})
+
+
+def collective_rounds(op: str, p: int) -> int:
+    """Nominal communication-round count of collective ``op`` over ``p`` ranks.
+
+    Tree/doubling algorithms take ``ceil(log2 p)`` rounds; ring and pairwise
+    algorithms take ``p - 1``.  This is the round count of the *canonical*
+    algorithm family (what ``mpi.coll.rounds`` reports), independent of the
+    size-dependent variant selection inside the duration models.
+    """
+    if op in _LOG_ROUND_OPS:
+        return _log2ceil(p)
+    if op in _LINEAR_ROUND_OPS:
+        return max(1, p - 1)
+    raise ValueError(f"no round model for collective {op!r}")

@@ -303,6 +303,12 @@ class MpiWorld:
         duration = coll_models.collective_duration(
             ctx.op, ctx.max_size, comm.size, net, self.impl
         )
+        m = self.engine.metrics
+        m.counter("mpi.coll.ops", op=ctx.op).inc()
+        m.counter("mpi.coll.bytes", op=ctx.op).inc(ctx.max_size)
+        m.counter("mpi.coll.rounds", op=ctx.op).inc(
+            coll_models.collective_rounds(ctx.op, comm.size)
+        )
         results = _collective_results(ctx, comm)
         del self._colls[key]
         for comm_rank, completion in ctx.completions.items():
@@ -384,6 +390,13 @@ class MpiEndpoint:
         self.drain_sink: Optional[Callable[[MsgRecord], None]] = None
         #: statistics
         self.calls = 0
+        # P2p conservation counters, memoized for the data path.  Each
+        # delivered MsgRecord is counted exactly once (see _count_delivery).
+        metrics = world.engine.metrics
+        self._m_sent_msgs = metrics.counter("mpi.p2p.sent_messages", rank=rank)
+        self._m_sent_bytes = metrics.counter("mpi.p2p.sent_bytes", rank=rank)
+        self._m_recv_msgs = metrics.counter("mpi.p2p.recv_messages", rank=rank)
+        self._m_recv_bytes = metrics.counter("mpi.p2p.recv_bytes", rank=rank)
 
     # ---------------------------------------------------------- accounting
 
@@ -436,6 +449,8 @@ class MpiEndpoint:
         )
         self.world.p2p_messages += 1
         self.world.p2p_bytes += wire
+        self._m_sent_msgs.inc()
+        self._m_sent_bytes.inc(wire)
         done = Completion(self.engine, label=f"send{self.rank}->{dst_world}")
         req = Request(self.world.new_request_handle(), "send", done)
         cpu = self._entry_cost(extra_cpu, wire) + \
@@ -543,8 +558,14 @@ class MpiEndpoint:
 
     # ------------------------------------------------------ p2p internals
 
+    def _count_delivery(self, record: MsgRecord) -> None:
+        """Count one payload delivery (exactly once per MsgRecord)."""
+        self._m_recv_msgs.inc()
+        self._m_recv_bytes.inc(record.size)
+
     def _on_data_arrival(self, record: MsgRecord) -> None:
         """An eager payload (or rendezvous data) reached this rank's NIC."""
+        self._count_delivery(record)
         if self.drain_sink is not None:
             self.drain_sink(record)
             return
@@ -592,10 +613,12 @@ class MpiEndpoint:
                 if posted is None or posted.cancelled or self.drain_sink is not None:
                     # Drain mode (or the recv went away): sink or queue it.
                     if self.drain_sink is not None:
+                        self._count_delivery(record)
                         self.drain_sink(record)
                     else:
                         self._on_data_arrival(record)
                 else:
+                    self._count_delivery(record)
                     posted.completion.resolve(
                         (record.data, Status(record.src, record.tag, record.size))
                     )

@@ -1,0 +1,80 @@
+"""Typed trace events: the vocabulary of the observability layer.
+
+Every event carries the *virtual* timestamp at which it was recorded plus
+the identity of the actor that produced it (rank, node) and a category
+(:class:`Category`).  Spans additionally carry a duration once closed;
+a span whose producer died mid-flight (e.g. a checkpoint aborted by a rank
+failure) legitimately stays open (``dur is None``) and is exported as an
+unmatched Chrome ``B`` event.
+
+The taxonomy is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Category:
+    """Well-known event categories (free-form strings are also allowed).
+
+    * ``engine`` — per-event dispatch in the simulation kernel (very high
+      volume; off by default in the CLI);
+    * ``protocol`` — coordinator-side Algorithm-2 phases and control-plane
+      messages;
+    * ``checkpoint`` — rank-side checkpoint work (drain, image write);
+    * ``mpi`` — interposed MPI calls as the application sees them;
+    * ``fault`` — injected faults.
+    """
+
+    ENGINE = "engine"
+    PROTOCOL = "protocol"
+    CHECKPOINT = "checkpoint"
+    MPI = "mpi"
+    FAULT = "fault"
+
+    #: every category above (the default recording set)
+    ALL = frozenset({ENGINE, PROTOCOL, CHECKPOINT, MPI, FAULT})
+    #: ALL minus the high-volume engine dispatch events
+    DEFAULT = frozenset({PROTOCOL, CHECKPOINT, MPI, FAULT})
+
+
+@dataclass
+class SpanEvent:
+    """An interval of virtual time: begun at ``ts``, closed at ``ts + dur``.
+
+    ``dur`` is ``None`` while the span is open; :meth:`repro.obs.tracer.
+    Tracer.end` fills it in.  ``rank`` is ``None`` for actors that are not a
+    rank (the coordinator, the engine itself).
+    """
+
+    name: str
+    cat: str
+    ts: float
+    dur: Optional[float] = None
+    rank: Optional[int] = None
+    node: Optional[int] = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def closed(self) -> bool:
+        """True once the span has been ended."""
+        return self.dur is not None
+
+    @property
+    def end_ts(self) -> Optional[float]:
+        """Closing timestamp, or None while the span is open."""
+        return None if self.dur is None else self.ts + self.dur
+
+
+@dataclass
+class InstantEvent:
+    """A point event at virtual time ``ts`` (a fault firing, an abort)."""
+
+    name: str
+    cat: str
+    ts: float
+    rank: Optional[int] = None
+    node: Optional[int] = None
+    args: dict[str, Any] = field(default_factory=dict)

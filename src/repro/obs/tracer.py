@@ -1,0 +1,212 @@
+"""The tracer: records typed events in virtual time, or does nothing.
+
+Two implementations share one duck-typed surface:
+
+* :class:`Tracer` — the real recorder.  It is bound to an engine-like
+  object (anything with a ``now`` property) and appends
+  :class:`~repro.obs.events.SpanEvent` / :class:`~repro.obs.events.
+  InstantEvent` records to an in-memory list, subject to a category filter
+  and a hard event cap (overflow is *counted*, never silent).
+* :class:`NullTracer` — the default.  Every method is a no-op and
+  ``enabled`` is False, so instrumentation sites guard their argument
+  construction with ``if tracer.enabled:`` and cost nothing when tracing
+  is off.  The A/B determinism test (``tests/obs/test_ab_determinism.py``)
+  verifies that enabling tracing changes neither application output nor the
+  virtual clock.
+
+Module-level switches (:func:`enable_tracing` / :func:`disable_tracing`)
+let a whole process opt in: every :class:`~repro.simtime.Engine` created
+while tracing is enabled gets a fresh :class:`Tracer` (collected through
+:func:`live_tracers` / :func:`drain_tracers`), which is how ``repro trace``
+captures engines created deep inside an example script.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.obs.events import Category, InstantEvent, SpanEvent
+
+#: default hard cap on recorded events per tracer (overflow is counted)
+MAX_EVENTS = 2_000_000
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    A single shared instance (:data:`NULL_TRACER`) is attached to engines
+    when tracing is off, so the per-call cost of instrumentation is one
+    attribute load and a predictable branch.
+    """
+
+    #: instrumentation sites branch on this before building event arguments
+    enabled = False
+    #: empty event list, so generic consumers need no isinstance checks
+    events: tuple = ()
+    #: no events are ever dropped because none are recorded
+    dropped = 0
+
+    def begin(self, name, cat="default", rank=None, node=None, **args):
+        """No-op; returns None (accepted by :meth:`end`)."""
+        return None
+
+    def end(self, span, **args) -> None:
+        """No-op."""
+
+    def instant(self, name, cat="default", rank=None, node=None, **args) -> None:
+        """No-op."""
+
+    def dispatch(self, ts, label) -> None:
+        """No-op."""
+
+
+#: the shared disabled tracer
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Records spans and instants against an engine's virtual clock.
+
+    Parameters
+    ----------
+    engine:
+        Anything with a ``now`` property in virtual seconds.
+    categories:
+        If given, only events whose ``cat`` is in this set are recorded
+        (:data:`Category.DEFAULT` excludes the high-volume engine dispatch
+        stream).  ``None`` records everything.
+    max_events:
+        Hard cap; events beyond it increment :attr:`dropped` instead of
+        being recorded, and the exporter surfaces the drop count.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        engine,
+        categories: Optional[Iterable[str]] = None,
+        max_events: int = MAX_EVENTS,
+    ) -> None:
+        #: the engine whose virtual clock timestamps every event
+        self.engine = engine
+        self.categories = None if categories is None else frozenset(categories)
+        self.max_events = max_events
+        self.events: list = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------ recording
+
+    def _admit(self, cat: str) -> bool:
+        if self.categories is not None and cat not in self.categories:
+            return False
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return False
+        return True
+
+    def begin(self, name: str, cat: str = "default", rank: Optional[int] = None,
+              node: Optional[int] = None, **args) -> Optional[SpanEvent]:
+        """Open a span at the current virtual time; close it with :meth:`end`."""
+        if not self._admit(cat):
+            return None
+        span = SpanEvent(name=name, cat=cat, ts=self.engine.now,
+                         rank=rank, node=node, args=dict(args))
+        self.events.append(span)
+        return span
+
+    def end(self, span: Optional[SpanEvent], **args) -> None:
+        """Close ``span`` at the current virtual time (None is accepted)."""
+        if span is None or span.dur is not None:
+            return
+        span.dur = self.engine.now - span.ts
+        if args:
+            span.args.update(args)
+
+    def instant(self, name: str, cat: str = "default", rank: Optional[int] = None,
+                node: Optional[int] = None, **args) -> None:
+        """Record a point event at the current virtual time."""
+        if not self._admit(cat):
+            return
+        self.events.append(InstantEvent(
+            name=name, cat=cat, ts=self.engine.now,
+            rank=rank, node=node, args=dict(args),
+        ))
+
+    def dispatch(self, ts: float, label: str) -> None:
+        """Record one engine event dispatch (zero-duration span, cat engine)."""
+        if not self._admit(Category.ENGINE):
+            return
+        self.events.append(SpanEvent(
+            name=label or "<event>", cat=Category.ENGINE, ts=ts, dur=0.0,
+        ))
+
+    # -------------------------------------------------------------- queries
+
+    def spans(self, cat: Optional[str] = None,
+              name: Optional[str] = None) -> list[SpanEvent]:
+        """Recorded spans, optionally filtered by category and/or name."""
+        return [e for e in self.events
+                if isinstance(e, SpanEvent)
+                and (cat is None or e.cat == cat)
+                and (name is None or e.name == name)]
+
+    def instants(self, cat: Optional[str] = None,
+                 name: Optional[str] = None) -> list[InstantEvent]:
+        """Recorded instants, optionally filtered by category and/or name."""
+        return [e for e in self.events
+                if isinstance(e, InstantEvent)
+                and (cat is None or e.cat == cat)
+                and (name is None or e.name == name)]
+
+
+# ----------------------------------------------------- process-wide switch
+
+_config: dict = {"enabled": False, "categories": None}
+_live: list[Tracer] = []
+
+
+def enable_tracing(categories: Optional[Iterable[str]] = None) -> None:
+    """Trace every engine created from now on (until :func:`disable_tracing`).
+
+    ``categories`` limits what those tracers record; ``None`` records
+    everything including engine dispatch events.
+    """
+    _config["enabled"] = True
+    _config["categories"] = None if categories is None else frozenset(categories)
+
+
+def disable_tracing() -> None:
+    """Stop attaching tracers to newly created engines."""
+    _config["enabled"] = False
+    _config["categories"] = None
+
+
+def tracing_enabled() -> bool:
+    """True while the process-wide tracing switch is on."""
+    return bool(_config["enabled"])
+
+
+def attach(engine):
+    """Tracer for a newly built engine (called by ``Engine.__init__``).
+
+    Returns :data:`NULL_TRACER` unless process-wide tracing is enabled, in
+    which case a fresh :class:`Tracer` is minted and remembered so
+    :func:`drain_tracers` can collect it after the traced workload ran.
+    """
+    if not _config["enabled"]:
+        return NULL_TRACER
+    tracer = Tracer(engine, categories=_config["categories"])
+    _live.append(tracer)
+    return tracer
+
+
+def live_tracers() -> list[Tracer]:
+    """Tracers attached since the last :func:`drain_tracers` call."""
+    return list(_live)
+
+
+def drain_tracers() -> list[Tracer]:
+    """Remove and return every collected tracer (used by ``repro trace``)."""
+    out, _live[:] = list(_live), []
+    return out

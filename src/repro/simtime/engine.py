@@ -23,6 +23,9 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import attach as _attach_tracer
+
 
 class SimulationError(RuntimeError):
     """Base class for errors raised by the simulation kernel."""
@@ -66,6 +69,10 @@ class Engine:
         self._seq = itertools.count()
         self._pending_watchers = 0
         self.trace: Optional[list[tuple[float, str]]] = None
+        #: structured tracer (NULL_TRACER unless process-wide tracing is on)
+        self.tracer = _attach_tracer(self)
+        #: always-on metrics instruments for this engine's lifetime
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------ clock
 
@@ -124,6 +131,8 @@ class Engine:
             self._now = when
             if self.trace is not None:
                 self.trace.append((when, label))
+            if self.tracer.enabled:
+                self.tracer.dispatch(when, label)
             fn, args = payload
             fn(*args)
             return True

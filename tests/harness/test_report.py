@@ -9,7 +9,39 @@ from repro.harness.results import Table
 def test_runner_registry_covers_every_figure():
     names = [name for name, _fn in report_mod.RUNNERS]
     assert names == ["fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-                     "fig8", "fig9", "mem", "modelcheck"]
+                     "fig8", "fig9", "mem", "modelcheck", "obs"]
+
+
+def test_generate_surfaces_runner_errors(capsys):
+    """A runner that raises mid-sweep must not kill the report, and its
+    failure must appear in an ``## errors`` section (regression: failed
+    experiments used to abort the sweep, silently dropping all later rows)."""
+    ok = Table("Good figure", ["a"])
+    ok.add(1)
+
+    def boom():
+        raise RuntimeError("sweep exploded")
+
+    runners = [("good", lambda: ok),
+               ("bad", boom),
+               ("later", lambda: ok)]
+    report, errors = report_mod.generate(runners=runners)
+    assert [name for name, _exc in errors] == ["bad"]
+    assert isinstance(errors[0][1], RuntimeError)
+    # both surviving runners rendered, including the one AFTER the failure
+    assert report.count("Good figure") == 2
+    assert "## errors" in report
+    assert "`bad`: RuntimeError: sweep exploded" in report
+    # the traceback is included for debugging
+    assert "boom" in report
+
+
+def test_generate_no_errors_section_when_clean():
+    ok = Table("Good figure", ["a"])
+    ok.add(1)
+    report, errors = report_mod.generate(runners=[("good", lambda: ok)])
+    assert errors == []
+    assert "## errors" not in report
 
 
 def test_modelcheck_table_shape():

@@ -1,0 +1,20 @@
+"""Shared observability fixtures: scoped process-wide tracing."""
+
+import pytest
+
+from repro.obs import disable_tracing, drain_tracers, enable_tracing
+
+
+@pytest.fixture
+def traced():
+    """Enable process-wide tracing for one test, always cleaning up.
+
+    Yields :func:`enable_tracing` so tests can re-enable with a category
+    filter; tracers left behind are drained on teardown either way.
+    """
+    enable_tracing()
+    try:
+        yield enable_tracing
+    finally:
+        drain_tracers()
+        disable_tracing()

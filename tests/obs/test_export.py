@@ -1,0 +1,177 @@
+"""Unit tests for the Chrome-trace exporter, its validator and the tables."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Category,
+    Tracer,
+    TraceValidationError,
+    chrome_trace,
+    metrics_table,
+    rank_timeline,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+def _sample_tracer():
+    clock = FakeClock(0.5)
+    tr = Tracer(clock)
+    span = tr.begin("allreduce", cat=Category.MPI, rank=2, node="n0", bytes=64)
+    clock.now = 0.75
+    tr.end(span)
+    tr.begin("ckpt", cat=Category.PROTOCOL)          # left open (abort shape)
+    tr.instant("ckpt:abort", cat=Category.PROTOCOL, rank=1, phase="drain")
+    return tr
+
+
+# ---------------------------------------------------------------- exporter
+
+def test_chrome_trace_structure():
+    doc = chrome_trace([_sample_tracer()], label="unit")
+    assert doc["displayTimeUnit"] == "ms"
+    assert doc["otherData"]["droppedEvents"] == 0
+    evs = doc["traceEvents"]
+
+    meta = [e for e in evs if e["ph"] == "M"]
+    names = {(e["name"], e["tid"]): e["args"]["name"] for e in meta}
+    assert names[("process_name", 0)] == "unit/engine-1"
+    assert names[("thread_name", 0)] == "coordinator"
+    assert names[("thread_name", 3)] == "rank 2"      # tid = rank + 1
+
+    (x,) = [e for e in evs if e["ph"] == "X"]
+    assert x["name"] == "allreduce" and x["cat"] == "mpi"
+    assert x["ts"] == pytest.approx(0.5e6)            # virtual s -> us
+    assert x["dur"] == pytest.approx(0.25e6)
+    assert x["tid"] == 3 and x["pid"] == 1
+    assert x["args"] == {"bytes": 64, "node": "n0"}
+
+    (b,) = [e for e in evs if e["ph"] == "B"]         # open span survives
+    assert b["name"] == "ckpt" and b["tid"] == 0
+
+    (i,) = [e for e in evs if e["ph"] == "i"]
+    assert i["s"] == "t" and i["args"]["phase"] == "drain"
+
+
+def test_chrome_trace_multiple_tracers_get_distinct_pids():
+    doc = chrome_trace([_sample_tracer(), _sample_tracer()])
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {1, 2}
+
+
+def test_chrome_trace_surfaces_dropped_counts():
+    tr = Tracer(FakeClock(), max_events=1)
+    tr.instant("a")
+    tr.instant("b")
+    doc = chrome_trace([tr])
+    assert doc["otherData"]["droppedEvents"] == 1
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = tmp_path / "trace.json"
+    doc = write_chrome_trace(str(path), [_sample_tracer()])
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(doc))
+    validate_chrome_trace(loaded)
+
+
+# --------------------------------------------------------------- validator
+
+def _valid_doc():
+    return chrome_trace([_sample_tracer()])
+
+
+def test_validator_accepts_exporter_output():
+    validate_chrome_trace(_valid_doc())     # must not raise
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda d: d.pop("traceEvents"), "traceEvents"),
+    (lambda d: d["traceEvents"].append("nope"), "not an object"),
+    (lambda d: d["traceEvents"].append({"ph": "Z", "name": "x"}), "bad phase"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "i", "name": "", "pid": 1, "tid": 0, "ts": 0, "s": "t"}),
+     "missing name"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "i", "name": "x", "pid": "one", "tid": 0, "ts": 0, "s": "t"}),
+     "integer pid"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "i", "name": "x", "pid": 1, "tid": 0, "s": "t"}),
+     "numeric ts"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "i", "name": "x", "pid": 1, "tid": 0, "ts": 0, "cat": 3,
+         "s": "t"}),
+     "cat must be a string"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "i", "name": "x", "pid": 1, "tid": 0, "ts": 0, "s": "t",
+         "args": [1]}),
+     "args must be an object"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": 0, "dur": -1}),
+     "dur >= 0"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": 0}),
+     "dur >= 0"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "i", "name": "x", "pid": 1, "tid": 0, "ts": 0, "s": "q"}),
+     "g/p/t"),
+    (lambda d: d["traceEvents"].append(
+        {"ph": "E", "name": "x", "pid": 9, "tid": 9, "ts": 0}),
+     "E without matching B"),
+])
+def test_validator_rejections(mutate, fragment):
+    doc = _valid_doc()
+    mutate(doc)
+    with pytest.raises(TraceValidationError) as exc:
+        validate_chrome_trace(doc)
+    assert any(fragment in e for e in exc.value.errors)
+
+
+def test_validator_rejects_non_dict_document():
+    with pytest.raises(TraceValidationError):
+        validate_chrome_trace([{"ph": "i"}])
+
+
+def test_validator_error_lists_every_violation():
+    doc = _valid_doc()
+    doc["traceEvents"].append({"ph": "Z"})
+    doc["traceEvents"].append({"ph": "Y"})
+    with pytest.raises(TraceValidationError) as exc:
+        validate_chrome_trace(doc)
+    assert len(exc.value.errors) == 2
+
+
+# ------------------------------------------------------------------ tables
+
+def test_metrics_table_shape():
+    reg = MetricsRegistry()
+    reg.counter("mpi.p2p.sent_bytes", rank=0).inc(128)
+    reg.histogram("ckpt.drain_seconds").observe(0.25)
+    table = metrics_table(reg, title="t")
+    assert table.columns == ["metric", "labels", "kind", "value"]
+    metrics = table.column("metric")
+    assert "mpi.p2p.sent_bytes" in metrics
+    assert "ckpt.drain_seconds" in metrics
+    kinds = dict(zip(metrics, table.column("kind")))
+    assert kinds["ckpt.drain_seconds"] == "histogram"
+
+
+def test_rank_timeline_aggregates_spans():
+    tr = _sample_tracer()
+    table = rank_timeline([tr])
+    assert table.columns == ["rank", "category", "spans", "busy_s"]
+    rows = list(zip(table.column("rank"), table.column("category"),
+                    table.column("spans"), table.column("busy_s")))
+    assert (2, "mpi", 1, pytest.approx(0.25)) in [
+        (r, c, s, b) for r, c, s, b in rows
+    ]
+    # the open coordinator span appears with zero accumulated duration
+    assert ("coord", "protocol", 1, 0.0) in rows

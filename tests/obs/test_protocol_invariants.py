@@ -1,0 +1,116 @@
+"""Protocol-phase invariants, checked from captured trace spans.
+
+These tests use the observability subsystem as an *oracle* for Algorithm 2:
+the captured spans must show that no rank wrote its checkpoint image before
+the coordinator's drain phase closed, and that every checkpoint-intent span
+is matched by exactly one resume or abort instant — including on the
+:class:`~repro.mana.coordinator.CheckpointAborted` path.
+"""
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana.coordinator import CheckpointAborted
+from repro.mana.protocol import PHASE_SPANS
+from repro.obs import Category, drain_tracers
+
+from tests.mana.conftest import launch_small, ring_factory
+from tests.mana.test_coordinator_abort import (
+    _kill_and_notify,
+    compute_only_factory,
+)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("inv", 2, interconnect="aries",
+                        default_mpi="craympich")
+
+
+def _coordinator_tracer():
+    """The tracer of the job engine (the only engine the test created)."""
+    tracers = drain_tracers()
+    assert len(tracers) == 1
+    return tracers[0]
+
+
+def _intent_resume_abort(tracer):
+    intents = tracer.spans(cat=Category.PROTOCOL, name="ckpt:intent")
+    resumes = tracer.instants(cat=Category.PROTOCOL, name="ckpt:resume")
+    aborts = tracer.instants(cat=Category.PROTOCOL, name="ckpt:abort")
+    return intents, resumes, aborts
+
+
+def test_no_rank_writes_before_drain_closes(cluster, traced):
+    job = launch_small(cluster, ring_factory(n_steps=6, cost=0.2), n_ranks=4)
+    job.checkpoint_at(0.55)
+    job.run_to_completion()
+    tracer = _coordinator_tracer()
+
+    (drain,) = tracer.spans(cat=Category.PROTOCOL, name="ckpt:drain")
+    assert drain.closed, "drain phase never completed"
+    writes = tracer.spans(cat=Category.CHECKPOINT, name="rank:write")
+    assert len(writes) == 4, "every rank must record a write span"
+    for w in writes:
+        assert w.ts >= drain.end_ts, (
+            f"rank {w.rank} wrote its image at t={w.ts} before drain "
+            f"closed at t={drain.end_ts}"
+        )
+    # drains themselves all happen inside the coordinator's drain phase
+    rank_drains = tracer.spans(cat=Category.CHECKPOINT, name="rank:drain")
+    assert len(rank_drains) == 4
+    for d in rank_drains:
+        assert d.closed and d.end_ts <= drain.end_ts
+
+
+def test_completed_checkpoint_matches_intent_with_resume(cluster, traced):
+    job = launch_small(cluster, ring_factory(n_steps=6, cost=0.2), n_ranks=4)
+    job.checkpoint_at(0.55)
+    job.run_to_completion()
+    tracer = _coordinator_tracer()
+
+    intents, resumes, aborts = _intent_resume_abort(tracer)
+    assert len(intents) == 1
+    assert len(resumes) == 1 and len(aborts) == 0
+    assert intents[0].closed
+    # the umbrella span closed too, and covers the resume instant
+    (ckpt,) = tracer.spans(cat=Category.PROTOCOL, name="ckpt")
+    assert ckpt.closed and ckpt.end_ts == resumes[0].ts
+    # every protocol phase from the shared vocabulary appears, closed
+    for span_name in PHASE_SPANS.values():
+        (span,) = tracer.spans(cat=Category.PROTOCOL, name=span_name)
+        assert span.closed, f"{span_name} never closed"
+
+
+def test_aborted_checkpoint_matches_intent_with_abort(cluster, traced):
+    job = launch_small(cluster, compute_only_factory(), n_ranks=4)
+    job.run_until(0.5)
+    done = job.coordinator.request_checkpoint()
+    for _ in range(3):
+        job.engine.step()
+    _kill_and_notify(job, 2)
+    assert isinstance(done.value, CheckpointAborted)
+    job.engine.run()
+    tracer = _coordinator_tracer()
+
+    intents, resumes, aborts = _intent_resume_abort(tracer)
+    assert len(intents) == 1
+    assert len(resumes) == 0 and len(aborts) == 1
+    assert aborts[0].rank == 2
+    assert aborts[0].args["phase"] == "collect-states"
+    # the round never completed: intent span is deliberately left open, and
+    # no rank reached the write phase
+    assert not intents[0].closed
+    assert tracer.spans(cat=Category.CHECKPOINT, name="rank:write") == []
+
+
+def test_every_intent_matched_across_multiple_rounds(cluster, traced):
+    job = launch_small(cluster, ring_factory(n_steps=8, cost=0.2), n_ranks=4)
+    job.checkpoint_at(0.45)
+    job.checkpoint_at(0.95)
+    job.run_to_completion()
+    tracer = _coordinator_tracer()
+
+    intents, resumes, aborts = _intent_resume_abort(tracer)
+    assert len(intents) == 2
+    assert len(resumes) + len(aborts) == len(intents)

@@ -1,0 +1,199 @@
+"""Unit tests for the tracer, the event types and the metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    Category,
+    Counter,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    attach,
+    disable_tracing,
+    drain_tracers,
+    enable_tracing,
+    live_tracers,
+    tracing_enabled,
+)
+from repro.simtime import Engine
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+# ------------------------------------------------------------- null tracer
+
+def test_null_tracer_is_fully_inert():
+    t = NullTracer()
+    assert t.enabled is False
+    assert t.begin("x", cat="mpi") is None
+    t.end(None)                      # accepts the None begin() returned
+    t.instant("x")
+    t.dispatch(1.0, "label")
+    assert list(t.events) == []
+    assert t.dropped == 0
+
+
+def test_null_tracer_singleton_attached_when_disabled():
+    assert not tracing_enabled()
+    eng = Engine()
+    assert eng.tracer is NULL_TRACER
+
+
+# ------------------------------------------------------------------ tracer
+
+def test_span_records_virtual_times():
+    clock = FakeClock(1.0)
+    tr = Tracer(clock)
+    span = tr.begin("allreduce", cat=Category.MPI, rank=3, bytes=64)
+    clock.now = 2.5
+    tr.end(span, result="ok")
+    assert span.ts == 1.0 and span.dur == 1.5 and span.end_ts == 2.5
+    assert span.closed
+    assert span.rank == 3
+    assert span.args == {"bytes": 64, "result": "ok"}
+
+
+def test_end_is_idempotent_and_tolerates_none():
+    clock = FakeClock()
+    tr = Tracer(clock)
+    span = tr.begin("s")
+    clock.now = 1.0
+    tr.end(span)
+    clock.now = 9.0
+    tr.end(span)            # second end does not move the duration
+    assert span.dur == 1.0
+    tr.end(None)            # filtered-out spans come back as None
+
+
+def test_category_filter():
+    tr = Tracer(FakeClock(), categories=Category.DEFAULT)
+    assert tr.begin("dispatch", cat=Category.ENGINE) is None
+    tr.dispatch(0.0, "ev")
+    assert tr.begin("send", cat=Category.MPI) is not None
+    assert len(tr.events) == 1
+
+
+def test_event_cap_counts_drops():
+    tr = Tracer(FakeClock(), max_events=2)
+    tr.instant("a")
+    tr.instant("b")
+    tr.instant("c")
+    tr.instant("d")
+    assert len(tr.events) == 2
+    assert tr.dropped == 2
+
+
+def test_span_and_instant_queries():
+    clock = FakeClock()
+    tr = Tracer(clock)
+    tr.end(tr.begin("send", cat=Category.MPI, rank=0))
+    tr.end(tr.begin("recv", cat=Category.MPI, rank=1))
+    tr.instant("fault:NodeCrash", cat=Category.FAULT)
+    assert [s.name for s in tr.spans(cat=Category.MPI)] == ["send", "recv"]
+    assert len(tr.spans(name="send")) == 1
+    assert len(tr.instants(cat=Category.FAULT)) == 1
+    assert tr.instants(cat=Category.MPI) == []
+
+
+# -------------------------------------------------- process-wide switch
+
+def test_attach_lifecycle():
+    assert attach(FakeClock()) is NULL_TRACER
+    enable_tracing(Category.DEFAULT)
+    try:
+        assert tracing_enabled()
+        eng = Engine()
+        assert isinstance(eng.tracer, Tracer)
+        assert eng.tracer.categories == Category.DEFAULT
+        assert eng.tracer in live_tracers()
+    finally:
+        collected = drain_tracers()
+        disable_tracing()
+    assert len(collected) == 1
+    assert live_tracers() == []
+    assert not tracing_enabled()
+    assert Engine().tracer is NULL_TRACER
+
+
+def test_engine_dispatch_spans_recorded_when_tracing_all():
+    enable_tracing()          # no filter: engine dispatch included
+    try:
+        eng = Engine()
+        eng.call_after(1.0, lambda: None, label="tick")
+        eng.run()
+        dispatches = eng.tracer.spans(cat=Category.ENGINE)
+        assert [d.name for d in dispatches] == ["tick"]
+        assert dispatches[0].ts == 1.0 and dispatches[0].dur == 0.0
+    finally:
+        drain_tracers()
+        disable_tracing()
+
+
+# ----------------------------------------------------------------- metrics
+
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("mpi.p2p.sent_bytes", rank=0)
+    c.inc(10)
+    c.inc(5)
+    assert reg.counter("mpi.p2p.sent_bytes", rank=0) is c
+    assert reg.value("mpi.p2p.sent_bytes", rank=0) == 15
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+    g = reg.gauge("queue.depth")
+    g.set(7)
+    g.set(3)
+    assert reg.value("queue.depth") == 3
+
+    h = reg.histogram("ckpt.drain_seconds")
+    h.observe(0.5)
+    h.observe(1.5)
+    assert h.count == 2
+    assert h.mean == pytest.approx(1.0)
+    assert sum(h.counts) == 2
+
+
+def test_total_sums_across_labels_and_rows_are_flat():
+    reg = MetricsRegistry()
+    reg.counter("x.bytes", rank=0).inc(3)
+    reg.counter("x.bytes", rank=1).inc(4)
+    assert reg.total("x.bytes") == 7
+    assert reg.value("x.bytes", rank=2) is None
+    rows = reg.rows()
+    assert ("x.bytes", "rank=0", "counter", 3) in rows
+    assert ("x.bytes", "rank=1", "counter", 4) in rows
+
+
+def test_metric_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("m").inc()
+    # corrupt the slot a counter lookup would hit, to exercise the guard
+    key = ("Counter", "m", ())
+    reg._instruments[key] = reg.gauge("other")
+    with pytest.raises(TypeError):
+        reg.counter("m")
+
+
+def test_same_name_different_kinds_coexist():
+    reg = MetricsRegistry()
+    reg.counter("m").inc(2)
+    reg.gauge("m").set(5)
+    assert isinstance(reg.counter("m"), Counter)
+    assert reg.counter("m").value == 2
+
+
+def test_merged_adds_counters_only():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("sent", rank=0).inc(5)
+    b.counter("sent", rank=0).inc(7)
+    b.counter("sent", rank=1).inc(1)
+    a.gauge("depth").set(9)
+    merged = a.merged(b)
+    assert merged.value("sent", rank=0) == 12
+    assert merged.value("sent", rank=1) == 1
+    assert merged.value("depth") is None        # gauges are engine-local

@@ -100,3 +100,34 @@ def test_unknown_app_errors():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         run_cli("frobnicate")
+
+
+def test_trace_example_writes_valid_chrome_trace(tmp_path):
+    from repro.obs import tracing_enabled, validate_chrome_trace
+
+    out_path = tmp_path / "trace.json"
+    code, text = run_cli("trace", "examples/quickstart.py",
+                         "--out", str(out_path))
+    assert code == 0
+    assert "Perfetto" in text or "perfetto" in text
+    doc = json.loads(out_path.read_text())
+    validate_chrome_trace(doc)
+    assert len(doc["traceEvents"]) > 0
+    # the process-wide switch is restored even though the example ran
+    assert not tracing_enabled()
+
+
+def test_trace_app_with_checkpoint_and_metrics(tmp_path):
+    from repro.obs import validate_chrome_trace
+
+    out_path = tmp_path / "trace.json"
+    code, text = run_cli("trace", "hpcg", "--ranks", "4", "--nodes", "2",
+                         "--steps", "2", "--checkpoint-at", "0.05",
+                         "--out", str(out_path), "--metrics")
+    assert code == 0
+    doc = json.loads(out_path.read_text())
+    validate_chrome_trace(doc)
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "ckpt" in names and "ckpt:drain" in names
+    assert "metrics: engine-1" in text
+    assert "mpi.coll.ops" in text
