@@ -6,6 +6,11 @@ and archives it under ``benchmarks/results/``.
 
 Scale: set ``REPRO_BENCH_SCALE=paper`` for the full 2–64-node sweeps
 (minutes); the default ``small`` keeps each figure to seconds.
+
+Parallelism: set ``REPRO_BENCH_JOBS=N`` to fan each figure's sweep cells
+out over N worker processes (``repro.harness.parallel``); the default 1
+runs in-process.  The emitted tables are identical either way — only the
+wall-clock changes.
 """
 
 import os
@@ -25,6 +30,15 @@ def bench_scale() -> str:
 @pytest.fixture
 def scale() -> str:
     return bench_scale()
+
+
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+@pytest.fixture
+def jobs() -> int:
+    return bench_jobs()
 
 
 @pytest.fixture

@@ -1,0 +1,10 @@
+"""Wall-clock performance microbenchmarks (the ``BENCH_perf.json`` suite).
+
+Unlike the figure benchmarks one directory up — which reproduce the
+paper's *simulated* results — these measure how fast the simulator itself
+runs on the host: event throughput, message rates, checkpoint/restart
+cycle time, end-to-end sweep cells, and the sequential-vs-parallel sweep
+speedup.  The suite logic lives in :mod:`repro.harness.perfbench` so the
+``repro bench`` CLI can run it without importing the test tree; the tests
+here exercise the same entry points and pin the output schema.
+"""

@@ -16,50 +16,18 @@ from repro.apps import get_app
 from repro.harness.results import Table
 from repro.hardware.cluster import cori, make_cluster
 from repro.mana.job import launch_mana
-from repro.mpilib import SUM
-from repro.mprog import Call, Compute, Loop, Program, Seq
 
 
-def _allreduce_app(n_iters, size_bytes):
-    def factory(rank, world):
-        def init(s):
-            s["x"] = np.ones(8)
+def test_ablation_two_phase_wrapper_cost(benchmark, record_table, jobs):
+    """Runtime price of Algorithm 1's trivial barrier, by size and ranks.
 
-        def coll(s, api):
-            return api.allreduce(s["x"], SUM, size=size_bytes)
+    The sweep itself lives in :func:`repro.harness.experiments.
+    ablation_two_phase_cost` (cell-decomposed, parallelizable via
+    ``REPRO_BENCH_JOBS``); this benchmark times and validates it.
+    """
+    from repro.harness import ablation_two_phase_cost
 
-        return Program(Seq(Compute(init), Loop(n_iters, Call(coll, store="y"))),
-                       name="ablate-coll")
-
-    return factory
-
-
-def test_ablation_two_phase_wrapper_cost(benchmark, record_table):
-    """Runtime price of Algorithm 1's trivial barrier, by size and ranks."""
-
-    def experiment():
-        out = Table(
-            "Ablation: two-phase wrapper runtime cost (no checkpoints)",
-            ["ranks", "size_bytes", "bare_s", "two_phase_s", "added_pct"],
-        )
-        for n_ranks in (4, 16):
-            for size in (64, 1 << 16, 1 << 21):
-                times = {}
-                for enabled in (False, True):
-                    cluster = cori(2)
-                    job = launch_mana(
-                        cluster, _allreduce_app(40, size), n_ranks=n_ranks,
-                        ranks_per_node=n_ranks // 2, app_mem_bytes=1 << 20,
-                    )
-                    for rt in job.runtimes:
-                        rt.two_phase_enabled = enabled
-                    job.start()
-                    times[enabled] = job.run_to_completion()
-                added = 100.0 * (times[True] / times[False] - 1.0)
-                out.add(n_ranks, size, times[False], times[True], added)
-        return out
-
-    table = run_once(benchmark, experiment)
+    table = run_once(benchmark, ablation_two_phase_cost, jobs=jobs)
     record_table(table, "ablation_two_phase")
     for ranks, size, bare, two_phase, added in table.rows:
         assert two_phase >= bare

@@ -4,8 +4,9 @@ from benchmarks.conftest import run_once
 from repro.harness import fig2_single_node_overhead
 
 
-def test_fig2_single_node_overhead(benchmark, scale, record_table):
-    table = run_once(benchmark, fig2_single_node_overhead, scale=scale)
+def test_fig2_single_node_overhead(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, fig2_single_node_overhead, scale=scale,
+                     jobs=jobs)
     record_table(table, "fig2_single_node_overhead")
     # paper: overhead mostly <2%, worst 2.1% (GROMACS/16) — allow the
     # qualitative band

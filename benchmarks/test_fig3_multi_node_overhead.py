@@ -4,8 +4,9 @@ from benchmarks.conftest import run_once
 from repro.harness import fig3_multi_node_overhead
 
 
-def test_fig3_multi_node_overhead(benchmark, scale, record_table):
-    table = run_once(benchmark, fig3_multi_node_overhead, scale=scale)
+def test_fig3_multi_node_overhead(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, fig3_multi_node_overhead, scale=scale,
+                     jobs=jobs)
     record_table(table, "fig3_multi_node_overhead")
     # paper: typically <2%, worst 4.5% (GROMACS at 512 ranks)
     for pct in table.column("normalized_pct"):

@@ -4,8 +4,9 @@ from benchmarks.conftest import run_once
 from repro.harness import fig4_bandwidth_kernel_patch
 
 
-def test_fig4_bandwidth_kernel_patch(benchmark, scale, record_table):
-    table = run_once(benchmark, fig4_bandwidth_kernel_patch, scale=scale)
+def test_fig4_bandwidth_kernel_patch(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, fig4_bandwidth_kernel_patch, scale=scale,
+                     jobs=jobs)
     record_table(table, "fig4_bandwidth_kernel_patch")
     small = [r for r in table.rows if r[0] <= 64 << 10]
     large = [r for r in table.rows if r[0] >= 4 << 20]

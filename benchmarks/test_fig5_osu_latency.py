@@ -4,8 +4,8 @@ from benchmarks.conftest import run_once
 from repro.harness import fig5_osu_latency
 
 
-def test_fig5_osu_latency(benchmark, scale, record_table):
-    table = run_once(benchmark, fig5_osu_latency, scale=scale)
+def test_fig5_osu_latency(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, fig5_osu_latency, scale=scale, jobs=jobs)
     record_table(table, "fig5_osu_latency")
     benches = {r[0] for r in table.rows}
     assert benches == {"p2p-latency", "gather", "allreduce"}

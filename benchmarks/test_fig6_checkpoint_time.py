@@ -4,8 +4,8 @@ from benchmarks.conftest import run_once
 from repro.harness import fig6_checkpoint_time
 
 
-def test_fig6_checkpoint_time(benchmark, scale, record_table):
-    table = run_once(benchmark, fig6_checkpoint_time, scale=scale)
+def test_fig6_checkpoint_time(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, fig6_checkpoint_time, scale=scale, jobs=jobs)
     record_table(table, "fig6_checkpoint_time")
     by_app = {}
     for row in table.rows:

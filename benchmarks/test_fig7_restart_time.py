@@ -4,8 +4,8 @@ from benchmarks.conftest import run_once
 from repro.harness import fig7_restart_time
 
 
-def test_fig7_restart_time(benchmark, scale, record_table):
-    table = run_once(benchmark, fig7_restart_time, scale=scale)
+def test_fig7_restart_time(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, fig7_restart_time, scale=scale, jobs=jobs)
     record_table(table, "fig7_restart_time")
     for row in table.rows:
         app, nodes, ranks, total, read, replay = row

@@ -4,8 +4,8 @@ from benchmarks.conftest import run_once
 from repro.harness import fig8_ckpt_breakdown
 
 
-def test_fig8_ckpt_breakdown(benchmark, scale, record_table):
-    table = run_once(benchmark, fig8_ckpt_breakdown, scale=scale)
+def test_fig8_ckpt_breakdown(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, fig8_ckpt_breakdown, scale=scale, jobs=jobs)
     record_table(table, "fig8_ckpt_breakdown")
     for row in table.rows:
         app, ranks, write_pct, drain_pct, comm_pct, drain_s, comm_s = row

@@ -4,8 +4,9 @@ from benchmarks.conftest import run_once
 from repro.harness import memory_overhead_analysis
 
 
-def test_mem_overhead(benchmark, scale, record_table):
-    table = run_once(benchmark, memory_overhead_analysis, scale=scale)
+def test_mem_overhead(benchmark, scale, record_table, jobs):
+    table = run_once(benchmark, memory_overhead_analysis, scale=scale,
+                     jobs=jobs)
     record_table(table, "mem_overhead")
     rows = {r[0]: r for r in table.rows}
     assert rows[2][1] == 26.0, "26 MB duplicated MPI text (paper's figure)"

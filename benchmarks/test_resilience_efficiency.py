@@ -11,8 +11,8 @@ from benchmarks.conftest import run_once
 from repro.harness import resilience_efficiency_sweep
 
 
-def test_resilience_efficiency(benchmark, record_table):
-    table = run_once(benchmark, resilience_efficiency_sweep)
+def test_resilience_efficiency(benchmark, record_table, jobs):
+    table = run_once(benchmark, resilience_efficiency_sweep, jobs=jobs)
     record_table(table, "resilience_efficiency")
     eff = dict(zip(table.column("interval/YD"), table.column("efficiency")))
     near_optimal = max(eff[0.5], eff[1.0], eff[2.0])

@@ -67,13 +67,29 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="check the strawman protocol instead (finds the "
                           "violation)")
 
-    bench = sub.add_parser("bench", help="regenerate a figure of the paper")
-    bench.add_argument("--figure", required=True,
+    bench = sub.add_parser(
+        "bench",
+        help="regenerate a figure of the paper, or (without --figure) run "
+             "the wall-clock perf suite and write BENCH_perf.json",
+    )
+    bench.add_argument("--figure", default=None,
                        choices=["fig2", "fig3", "fig4", "fig5", "fig6",
                                 "fig7", "fig8", "fig9", "mem",
-                                "resilience"])
+                                "resilience", "ablation"])
     bench.add_argument("--scale", default="small",
                        choices=["small", "medium", "paper"])
+    bench.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker processes for sweep cells (default: "
+                            "CPU count; 1 = in-process)")
+    bench.add_argument("--quick", action="store_true",
+                       help="perf suite only: shrink iteration counts "
+                            "(CI smoke mode)")
+    bench.add_argument("--out", default="BENCH_perf.json", metavar="FILE",
+                       help="perf suite only: output path "
+                            "(default: BENCH_perf.json)")
+    bench.add_argument("--check-against", default=None, metavar="FILE",
+                       help="perf suite only: fail if event throughput "
+                            "regresses >30%% vs this baseline document")
 
     trace = sub.add_parser(
         "trace",
@@ -232,23 +248,65 @@ def cmd_verify(args, out) -> int:
 
 
 def cmd_bench(args, out) -> int:
-    """``repro bench``: regenerate one figure."""
+    """``repro bench``: regenerate one figure, or run the perf suite.
+
+    With ``--figure`` the named sweep is regenerated (``--jobs`` fans its
+    cells over a process pool).  Without it, the wall-clock performance
+    suite runs and writes a schema-validated ``BENCH_perf.json``; with
+    ``--check-against BASELINE`` the run fails (exit 1) if event throughput
+    regressed more than 30% against the baseline document.
+    """
+    if args.figure is None:
+        return _cmd_bench_perf(args, out)
+
     from repro import harness
     from repro.harness import render_table
 
+    scale, jobs = args.scale, args.jobs
     runners = {
-        "fig2": lambda: harness.fig2_single_node_overhead(scale=args.scale),
-        "fig3": lambda: harness.fig3_multi_node_overhead(scale=args.scale),
-        "fig4": lambda: harness.fig4_bandwidth_kernel_patch(scale=args.scale),
-        "fig5": lambda: harness.fig5_osu_latency(scale=args.scale),
-        "fig6": lambda: harness.fig6_checkpoint_time(scale=args.scale),
-        "fig7": lambda: harness.fig7_restart_time(scale=args.scale),
-        "fig8": lambda: harness.fig8_ckpt_breakdown(scale=args.scale),
+        "fig2": lambda: harness.fig2_single_node_overhead(scale=scale,
+                                                          jobs=jobs),
+        "fig3": lambda: harness.fig3_multi_node_overhead(scale=scale,
+                                                         jobs=jobs),
+        "fig4": lambda: harness.fig4_bandwidth_kernel_patch(scale=scale,
+                                                            jobs=jobs),
+        "fig5": lambda: harness.fig5_osu_latency(scale=scale, jobs=jobs),
+        "fig6": lambda: harness.fig6_checkpoint_time(scale=scale, jobs=jobs),
+        "fig7": lambda: harness.fig7_restart_time(scale=scale, jobs=jobs),
+        "fig8": lambda: harness.fig8_ckpt_breakdown(scale=scale, jobs=jobs),
         "fig9": harness.fig9_cross_cluster_migration,
-        "mem": harness.memory_overhead_analysis,
-        "resilience": harness.resilience_efficiency_sweep,
+        "mem": lambda: harness.memory_overhead_analysis(scale=scale,
+                                                        jobs=jobs),
+        "resilience": lambda: harness.resilience_efficiency_sweep(jobs=jobs),
+        "ablation": lambda: harness.ablation_two_phase_cost(jobs=jobs),
     }
     print(render_table(runners[args.figure]()), file=out)
+    return 0
+
+
+def _cmd_bench_perf(args, out) -> int:
+    """The perf-suite leg of ``repro bench`` (no ``--figure``)."""
+    from repro.harness.perfbench import (
+        compare_bench,
+        load_bench_doc,
+        run_suite,
+        write_bench_doc,
+    )
+
+    doc = run_suite(quick=args.quick, jobs=args.jobs,
+                    log=lambda msg: print(msg, file=out))
+    write_bench_doc(doc, args.out)
+    print(f"wrote {args.out} ({len(doc['metrics'])} metrics, "
+          f"schema {doc['schema']})", file=out)
+
+    if args.check_against:
+        baseline = load_bench_doc(args.check_against)
+        failures = compare_bench(doc, baseline)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=out)
+            return 1
+        print(f"perf check vs {args.check_against}: within budget", file=out)
     return 0
 
 

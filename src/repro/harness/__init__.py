@@ -8,7 +8,16 @@ full 64-node × 32-rank configurations of the paper.
 """
 
 from repro.harness.results import Series, Table, render_table
+from repro.harness.parallel import (
+    CellError,
+    SweepCell,
+    clear_memo,
+    memo,
+    memo_stats,
+    run_cells,
+)
 from repro.harness.experiments import (
+    ablation_two_phase_cost,
     fig2_single_node_overhead,
     fig3_multi_node_overhead,
     fig4_bandwidth_kernel_patch,
@@ -23,8 +32,15 @@ from repro.harness.experiments import (
 )
 
 __all__ = [
+    "CellError",
     "Series",
+    "SweepCell",
     "Table",
+    "ablation_two_phase_cost",
+    "clear_memo",
+    "memo",
+    "memo_stats",
+    "run_cells",
     "fig2_single_node_overhead",
     "fig3_multi_node_overhead",
     "fig4_bandwidth_kernel_patch",

@@ -1,0 +1,323 @@
+"""Wall-clock performance benchmarks: the data behind ``BENCH_perf.json``.
+
+Every other benchmark in this repo measures *simulated* time (the figures
+of the paper); this module measures how fast the simulator itself runs on
+the host — the perf trajectory the ROADMAP's "as fast as the hardware
+allows" goal is held against.  ``repro bench`` (without ``--figure``) runs
+the suite and writes a schema-validated ``BENCH_perf.json`` at the repo
+root; CI re-runs it in quick mode and fails if event throughput regresses
+more than 30% against the committed baseline.
+
+Metrics
+-------
+
+* ``engine_events_per_s`` — raw discrete-event kernel throughput (a
+  self-re-arming timer; nothing but the engine hot loop).
+* ``p2p_msgs_per_s`` — simulated point-to-point messages per wall second
+  (OSU-style ping-pong under MANA interposition).
+* ``allreduce_per_s`` — simulated 8-rank allreduces per wall second.
+* ``ckpt_restart_cycle_s`` — wall seconds for one checkpoint + restart
+  cycle of a 4-rank HPCG slice.
+* ``fig2_cell_s`` — wall seconds for one end-to-end fig2 sweep cell
+  (native + MANA run, GROMACS/4 ranks).
+* ``sweep_speedup_j2`` — wall-clock speedup of a reduced fig3 sweep at
+  ``jobs=2`` over ``jobs=1`` (≈1.0 on a single-core host, approaching the
+  worker count as cores allow; recorded, not thresholded, because it is a
+  property of the host).
+
+All metrics carry ``higher_is_better`` so a generic threshold check can
+compare any of them; see :func:`compare_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Optional
+
+BENCH_SCHEMA = "repro-perf/1"
+
+#: metric keys guaranteed to be present in every suite run
+CORE_METRICS = (
+    "engine_events_per_s",
+    "p2p_msgs_per_s",
+    "allreduce_per_s",
+    "ckpt_restart_cycle_s",
+    "fig2_cell_s",
+    "sweep_speedup_j2",
+)
+
+
+# ------------------------------------------------------------ microbenches
+
+def bench_engine_events(n_events: int = 300_000) -> float:
+    """Events per wall second through the bare engine hot loop."""
+    from repro.simtime import Engine
+
+    engine = Engine()
+    remaining = [n_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            engine.call_after(0.001, tick, label="tick")
+
+    engine.call_after(0.0, tick, label="tick")
+    t0 = time.perf_counter()
+    engine.run()
+    return n_events / (time.perf_counter() - t0)
+
+
+def bench_p2p_message_rate(n_iters: int = 400) -> float:
+    """Simulated MANA p2p messages per wall second (2-rank ping-pong)."""
+    from repro.apps import osu
+    from repro.hardware.cluster import make_cluster
+    from repro.hardware.kernelmodel import UNPATCHED
+
+    cluster = make_cluster("perf-p2p", 1, interconnect="aries",
+                           kernel=UNPATCHED)
+    t0 = time.perf_counter()
+    osu.measure_latency(cluster, 1 << 10, mana=True, n_iters=n_iters)
+    wall = time.perf_counter() - t0
+    # each ping-pong iteration is two messages
+    return 2 * n_iters / wall
+
+
+def bench_allreduce_rate(n_iters: int = 60, n_ranks: int = 8) -> float:
+    """Simulated 8-rank MANA allreduces per wall second."""
+    import numpy as np
+
+    from repro.hardware.cluster import make_cluster
+    from repro.mana.job import launch_mana
+    from repro.mpilib import SUM
+    from repro.mprog import Call, Compute, Loop, Program, Seq
+
+    def factory(rank, world):
+        def init(s):
+            s["x"] = np.ones(8)
+
+        def coll(s, api):
+            return api.allreduce(s["x"], SUM, size=1 << 12)
+
+        return Program(
+            Seq(Compute(init), Loop(n_iters, Call(coll, store="y"))),
+            name="perf-allreduce",
+        )
+
+    cluster = make_cluster("perf-coll", 2)
+    job = launch_mana(cluster, factory, n_ranks=n_ranks,
+                      ranks_per_node=n_ranks // 2, app_mem_bytes=1 << 20)
+    job.start()
+    t0 = time.perf_counter()
+    job.run_to_completion()
+    return n_iters / (time.perf_counter() - t0)
+
+
+def bench_ckpt_restart_cycle(n_steps: int = 3) -> float:
+    """Wall seconds for one 4-rank HPCG checkpoint + restart cycle."""
+    from repro.apps import get_app
+    from repro.hardware.cluster import make_cluster
+    from repro.harness.experiments import _launch_mana_app
+    from repro.mana.job import restart
+
+    spec = get_app("hpcg")
+    cfg = spec.default_config.scaled(n_steps=n_steps)
+    t0 = time.perf_counter()
+    cluster = make_cluster("perf-ckpt", 2, interconnect="aries",
+                           default_mpi="craympich")
+    job = _launch_mana_app(cluster, spec, cfg, n_ranks=4, ranks_per_node=2)
+    ckpt, _report = job.checkpoint_at(0.05)
+    job2 = restart(ckpt, make_cluster("perf-rst", 2, interconnect="aries",
+                                      default_mpi="craympich"),
+                   spec.build(cfg), ranks_per_node=2)
+    job2.run_to_completion()
+    return time.perf_counter() - t0
+
+
+def bench_fig2_cell(n_steps: int = 4) -> float:
+    """Wall seconds for one end-to-end fig2 cell (GROMACS, 4 ranks)."""
+    from repro.harness.experiments import _fig2_cell
+    from repro.hardware.kernelmodel import UNPATCHED
+
+    t0 = time.perf_counter()
+    _fig2_cell("gromacs", 4, n_steps, UNPATCHED)
+    return time.perf_counter() - t0
+
+
+def bench_sweep_speedup(jobs: int = 2) -> dict[str, float]:
+    """Wall-clock speedup of a reduced fig3 sweep at ``jobs`` workers.
+
+    Returns ``{"seq_s": ..., "par_s": ..., "speedup": ...}``.  On a
+    single-core host the pool adds overhead and the ratio sits near (or
+    below) 1.0; the emitted document records the host core count next to
+    it so trajectories across machines stay interpretable.
+    """
+    from repro.harness.experiments import fig3_multi_node_overhead
+    from repro.harness.parallel import clear_memo
+
+    apps = ["gromacs", "hpcg"]
+    clear_memo()
+    t0 = time.perf_counter()
+    fig3_multi_node_overhead(scale="small", apps=apps, jobs=1)
+    seq = time.perf_counter() - t0
+    clear_memo()
+    t0 = time.perf_counter()
+    fig3_multi_node_overhead(scale="small", apps=apps, jobs=jobs)
+    par = time.perf_counter() - t0
+    return {"seq_s": seq, "par_s": par, "speedup": seq / par}
+
+
+# ------------------------------------------------------------------ suite
+
+def _metric(value: float, unit: str, higher_is_better: bool,
+            **extra: Any) -> dict:
+    out = {"value": float(value), "unit": unit,
+           "higher_is_better": higher_is_better}
+    out.update(extra)
+    return out
+
+
+def run_suite(quick: bool = False, jobs: Optional[int] = None,
+              log: Optional[Callable[[str], None]] = None) -> dict:
+    """Run every microbenchmark and return the ``BENCH_perf.json`` document.
+
+    ``quick`` shrinks iteration counts for CI smoke runs; ``jobs`` is the
+    worker count used by the sweep-speedup benchmark (default 2).
+    """
+    say = log or (lambda _msg: None)
+    jobs = 2 if jobs is None else max(2, jobs)
+
+    say("engine event throughput...")
+    events = bench_engine_events(60_000 if quick else 300_000)
+    say(f"  {events:,.0f} events/s")
+
+    say("p2p message rate...")
+    p2p = bench_p2p_message_rate(100 if quick else 400)
+    say(f"  {p2p:,.0f} msgs/s")
+
+    say("allreduce rate...")
+    coll = bench_allreduce_rate(20 if quick else 60)
+    say(f"  {coll:,.1f} allreduces/s")
+
+    say("checkpoint/restart cycle...")
+    cycle = bench_ckpt_restart_cycle(2 if quick else 3)
+    say(f"  {cycle:.3f} s")
+
+    say("fig2 end-to-end cell...")
+    cell = bench_fig2_cell(3 if quick else 4)
+    say(f"  {cell:.3f} s")
+
+    say(f"sequential vs parallel sweep (j{jobs})...")
+    sweep = bench_sweep_speedup(jobs)
+    say(f"  {sweep['seq_s']:.2f}s -> {sweep['par_s']:.2f}s "
+        f"({sweep['speedup']:.2f}x)")
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "quick": quick,
+        "host": {
+            "cpu_count": os.cpu_count() or 1,
+            "python": platform.python_version(),
+        },
+        "metrics": {
+            "engine_events_per_s": _metric(events, "events/s", True),
+            "p2p_msgs_per_s": _metric(p2p, "msgs/s", True),
+            "allreduce_per_s": _metric(coll, "allreduces/s", True),
+            "ckpt_restart_cycle_s": _metric(cycle, "s", False),
+            "fig2_cell_s": _metric(cell, "s", False),
+            "sweep_speedup_j2": _metric(
+                sweep["speedup"], "x", True, jobs=jobs,
+                seq_s=sweep["seq_s"], par_s=sweep["par_s"],
+            ),
+        },
+    }
+
+
+# ------------------------------------------------------------- validation
+
+def validate_bench_doc(doc: Any) -> None:
+    """Validate a ``BENCH_perf.json`` document; raises ``ValueError``.
+
+    The schema is deliberately small: a known schema tag, a host block
+    with a positive ``cpu_count``, and ≥ 5 metrics each carrying a finite
+    numeric ``value``, a non-empty ``unit`` and a boolean
+    ``higher_is_better``.  Every :data:`CORE_METRICS` key must be present.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"bench doc must be an object, got {type(doc).__name__}")
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unknown schema {doc.get('schema')!r}; expected {BENCH_SCHEMA!r}"
+        )
+    host = doc.get("host")
+    if not isinstance(host, dict) or not isinstance(host.get("cpu_count"), int) \
+            or host["cpu_count"] < 1:
+        raise ValueError("host.cpu_count must be a positive integer")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or len(metrics) < 5:
+        raise ValueError("metrics must be an object with >= 5 entries")
+    for key in CORE_METRICS:
+        if key not in metrics:
+            raise ValueError(f"missing core metric {key!r}")
+    for key, m in metrics.items():
+        if not isinstance(m, dict):
+            raise ValueError(f"metric {key!r} must be an object")
+        value = m.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(f"metric {key!r}: value must be a finite number")
+        if not isinstance(m.get("unit"), str) or not m["unit"]:
+            raise ValueError(f"metric {key!r}: unit must be a non-empty string")
+        if not isinstance(m.get("higher_is_better"), bool):
+            raise ValueError(f"metric {key!r}: higher_is_better must be a bool")
+
+
+def compare_bench(current: dict, baseline: dict,
+                  keys: tuple[str, ...] = ("engine_events_per_s",),
+                  max_regression: float = 0.30) -> list[str]:
+    """Compare ``current`` against ``baseline``; return regression messages.
+
+    A metric regresses when it moves in its *bad* direction (down for
+    ``higher_is_better``, up otherwise) by more than ``max_regression``
+    (fractional).  Metrics missing from the baseline are skipped — a new
+    benchmark must not fail the build that introduces it.  An empty return
+    value means within budget.
+    """
+    failures = []
+    for key in keys:
+        cur = current["metrics"].get(key)
+        base = baseline["metrics"].get(key)
+        if cur is None or base is None or base["value"] == 0:
+            continue
+        ratio = cur["value"] / base["value"]
+        if cur["higher_is_better"]:
+            regressed = ratio < 1.0 - max_regression
+            direction = "dropped"
+        else:
+            regressed = ratio > 1.0 + max_regression
+            direction = "grew"
+        if regressed:
+            failures.append(
+                f"{key} {direction} beyond the {max_regression:.0%} budget: "
+                f"{base['value']:.4g} -> {cur['value']:.4g} "
+                f"({ratio:.2f}x, {cur['unit']})"
+            )
+    return failures
+
+
+def write_bench_doc(doc: dict, path: str) -> None:
+    """Validate and write the document as stable, diff-friendly JSON."""
+    validate_bench_doc(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench_doc(path: str) -> dict:
+    """Load and validate a ``BENCH_perf.json`` document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_bench_doc(doc)
+    return doc

@@ -13,18 +13,33 @@ Design notes
   / :meth:`Engine.call_after` or through :class:`Completion` callbacks.
 * A :class:`Completion` is a single-assignment future.  MPI operations return
   one; the rank driver chains on it to resume the application program.
+* The kernel is the hot path of every experiment (sweeps spend ~98% of their
+  wall-clock inside :meth:`Engine.run` / :meth:`Completion.resolve`), so
+  :meth:`Engine.run` keeps its own inlined pop loop, queue entries are bare
+  lists indexed positionally, and the engine maintains an incremental live
+  event counter so :attr:`Engine.pending_events` is O(1).  None of this
+  changes the ``(time, priority, seq)`` total order — determinism is the
+  contract (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import attach as _attach_tracer
+
+# Queue entries are bare lists ``[when, priority, seq, label, payload]``
+# where ``payload`` is ``(fn, args)`` while live, None once cancelled, and
+# ``_FIRED`` once dispatched.  The unique ``seq`` makes heap comparison stop
+# before ever reaching label/payload.
+_WHEN, _PRIO, _SEQ, _LABEL, _PAYLOAD = range(5)
+
+#: payload sentinel marking an entry whose callback already ran (distinct
+#: from None so a late ``cancel()`` cannot un-count a fired event)
+_FIRED = object()
 
 
 class SimulationError(RuntimeError):
@@ -36,22 +51,29 @@ class DeadlockError(SimulationError):
     pending while some completion is still being awaited."""
 
 
-@dataclass(frozen=True)
 class EventHandle:
     """Opaque handle returned by :meth:`Engine.call_at`; used to cancel."""
 
-    time: float
-    seq: int
-    _entry: list = field(repr=False, compare=False)
+    __slots__ = ("time", "seq", "_entry", "_engine")
+
+    def __init__(self, time: float, seq: int, entry: list, engine: "Engine") -> None:
+        self.time = time
+        self.seq = seq
+        self._entry = entry
+        self._engine = engine
 
     def cancel(self) -> None:
         """Cancel the event if it has not fired yet (idempotent)."""
-        self._entry[-1] = None
+        entry = self._entry
+        payload = entry[_PAYLOAD]
+        if payload is not None and payload is not _FIRED:
+            entry[_PAYLOAD] = None
+            self._engine._live -= 1
 
     @property
     def cancelled(self) -> bool:
         """True if cancelled before firing."""
-        return self._entry[-1] is None
+        return self._entry[_PAYLOAD] is None
 
 
 class Engine:
@@ -66,7 +88,8 @@ class Engine:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[list] = []
-        self._seq = itertools.count()
+        self._next_seq = 0
+        self._live = 0
         self._pending_watchers = 0
         self.trace: Optional[list[tuple[float, str]]] = None
         #: structured tracer (NULL_TRACER unless process-wide tracing is on)
@@ -96,16 +119,23 @@ class Engine:
         ``when`` may equal :attr:`now` (the event fires before the engine
         next advances time) but may not lie in the past.
         """
-        if math.isnan(when):
+        now = self._now
+        if when < now:
+            if math.isnan(when):
+                raise SimulationError("cannot schedule event at NaN time")
+            if when < now - 1e-15:
+                raise SimulationError(
+                    f"cannot schedule event in the past: {when} < now={now}"
+                )
+            when = now
+        elif when != when:  # NaN compares false both ways
             raise SimulationError("cannot schedule event at NaN time")
-        if when < self._now - 1e-15:
-            raise SimulationError(
-                f"cannot schedule event in the past: {when} < now={self._now}"
-            )
-        seq = next(self._seq)
-        entry = [max(when, self._now), priority, seq, label, (fn, args)]
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = [when, priority, seq, label, (fn, args)]
         heapq.heappush(self._queue, entry)
-        return EventHandle(time=entry[0], seq=seq, _entry=entry)
+        self._live += 1
+        return EventHandle(when, seq, entry, self)
 
     def call_after(
         self,
@@ -124,15 +154,21 @@ class Engine:
 
     def step(self) -> bool:
         """Fire the single next event.  Returns False if the queue is empty."""
-        while self._queue:
-            when, _prio, _seq, label, payload = heapq.heappop(self._queue)
-            if payload is None:  # cancelled
+        queue = self._queue
+        while queue:
+            entry = heapq.heappop(queue)
+            payload = entry[_PAYLOAD]
+            if payload is None:  # cancelled (already uncounted)
                 continue
+            self._live -= 1
+            entry[_PAYLOAD] = _FIRED
+            when = entry[_WHEN]
             self._now = when
             if self.trace is not None:
-                self.trace.append((when, label))
-            if self.tracer.enabled:
-                self.tracer.dispatch(when, label)
+                self.trace.append((when, entry[_LABEL]))
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.dispatch(when, entry[_LABEL])
             fn, args = payload
             fn(*args)
             return True
@@ -147,22 +183,41 @@ class Engine:
         holds later events or drained early — so callers can rely on
         ``run(until=t)`` leaving ``now == t``.  An infinite ``until`` leaves
         the clock at the last fired event.
+
+        ``max_events`` is a firing budget guarding against livelock: the
+        engine raises :class:`SimulationError` as soon as the budget is
+        exhausted while another runnable event remains (exactly
+        ``max_events`` events fire, never more).
         """
+        queue = self._queue
+        pop = heapq.heappop
         fired = 0
-        while self._queue:
-            when = self._peek_time()
-            if when is None:
-                break
+        while queue:
+            entry = queue[0]
+            payload = entry[_PAYLOAD]
+            if payload is None:
+                pop(queue)
+                continue
+            when = entry[_WHEN]
             if when > until:
                 break
-            if not self.step():
-                break
-            fired += 1
-            if fired > max_events:
+            if fired >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely a livelock"
                 )
-        if math.isfinite(until) and until > self._now:
+            pop(queue)
+            self._live -= 1
+            entry[_PAYLOAD] = _FIRED
+            self._now = when
+            if self.trace is not None:
+                self.trace.append((when, entry[_LABEL]))
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.dispatch(when, entry[_LABEL])
+            fn, args = payload
+            fn(*args)
+            fired += 1
+        if until != math.inf and until > self._now:
             self._now = until
         return self._now
 
@@ -172,18 +227,24 @@ class Engine:
         return self._peek_time()
 
     def _peek_time(self) -> Optional[float]:
-        while self._queue:
-            entry = self._queue[0]
-            if entry[-1] is None:
-                heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if entry[_PAYLOAD] is None:
+                heapq.heappop(queue)
                 continue
-            return entry[0]
+            return entry[_WHEN]
         return None
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events in the queue."""
-        return sum(1 for e in self._queue if e[-1] is not None)
+        """Number of live (non-cancelled) events in the queue.
+
+        Maintained incrementally (O(1)): scheduling increments the counter,
+        firing or cancelling decrements it — cancelled entries still sitting
+        in the heap are not counted.
+        """
+        return self._live
 
 
 class Completion:
@@ -193,9 +254,14 @@ class Completion:
     ``Completion``; consumers register callbacks with :meth:`on_done`.
     Callbacks added after completion fire immediately (synchronously), which
     keeps rank drivers simple and avoids an extra zero-delay event.
+
+    The common case is exactly one callback (a rank driver chaining on an
+    MPI operation), so the first callback is stored in a dedicated slot and
+    the overflow list is only allocated for the second and later ones.
     """
 
-    __slots__ = ("engine", "label", "_done", "_cancelled", "_value", "_callbacks")
+    __slots__ = ("engine", "label", "_done", "_cancelled", "_value", "_cb",
+                 "_callbacks")
 
     def __init__(self, engine: Engine, label: str = "") -> None:
         self.engine = engine
@@ -203,7 +269,8 @@ class Completion:
         self._done = False
         self._cancelled = False
         self._value: Any = None
-        self._callbacks: list[Callable[[Any], None]] = []
+        self._cb: Optional[Callable[[Any], None]] = None
+        self._callbacks: Optional[list[Callable[[Any], None]]] = None
 
     @property
     def done(self) -> bool:
@@ -230,9 +297,18 @@ class Completion:
             raise SimulationError(f"completion {self.label!r} resolved twice")
         self._done = True
         self._value = value
-        callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
+        cb = self._cb
+        if cb is None:
+            return
+        self._cb = None
+        rest = self._callbacks
+        if rest is None:
             cb(value)
+            return
+        self._callbacks = None
+        cb(value)
+        for other in rest:
+            other(value)
 
     def resolve_at(self, when: float, value: Any = None) -> None:
         """Schedule resolution at absolute virtual time ``when``."""
@@ -250,7 +326,8 @@ class Completion:
         ceases to exist.
         """
         self._cancelled = True
-        self._callbacks = []
+        self._cb = None
+        self._callbacks = None
 
     def on_done(self, cb: Callable[[Any], None]) -> None:
         """Register ``cb(value)``; fires immediately if already done."""
@@ -258,6 +335,10 @@ class Completion:
             return
         if self._done:
             cb(self._value)
+        elif self._cb is None:
+            self._cb = cb
+        elif self._callbacks is None:
+            self._callbacks = [cb]
         else:
             self._callbacks.append(cb)
 

@@ -227,3 +227,131 @@ def test_determinism_of_interleaved_schedules():
         return order
 
     assert build() == build()
+
+
+class TestMaxEventsBudget:
+    """``max_events`` is a hard firing budget: exactly that many events fire."""
+
+    def test_budget_is_exact(self):
+        eng = Engine()
+        seen = []
+        for i in range(5):
+            eng.call_after(float(i), seen.append, i)
+        with pytest.raises(SimulationError, match="max_events"):
+            eng.run(max_events=3)
+        # the budget-exceeding event did NOT fire (the old guard fired
+        # max_events + 1 events before raising)
+        assert seen == [0, 1, 2]
+        assert eng.pending_events == 2
+
+    def test_draining_exactly_at_budget_does_not_raise(self):
+        eng = Engine()
+        seen = []
+        for i in range(3):
+            eng.call_after(float(i), seen.append, i)
+        eng.run(max_events=3)
+        assert seen == [0, 1, 2]
+
+    def test_events_beyond_until_do_not_trip_budget(self):
+        eng = Engine()
+        seen = []
+        for i in range(5):
+            eng.call_after(float(i), seen.append, i)
+        eng.run(until=1.0, max_events=2)  # events at 2.0+ are out of range
+        assert seen == [0, 1]
+
+
+class TestPendingEventsCounter:
+    """``pending_events`` is an O(1) incremental counter; it must stay exact
+    through every schedule / cancel / fire / re-arm interleaving."""
+
+    def test_counts_through_cancel_fire_rearm(self):
+        eng = Engine()
+        assert eng.pending_events == 0
+        h1 = eng.call_after(1.0, lambda: None)
+        h2 = eng.call_after(2.0, lambda: None)
+        eng.call_after(3.0, lambda: None)
+        assert eng.pending_events == 3
+        h1.cancel()
+        assert eng.pending_events == 2
+        h1.cancel()  # idempotent: no double decrement
+        assert eng.pending_events == 2
+        eng.run(until=2.0)  # fires the 2.0 event, skips the cancelled one
+        assert eng.pending_events == 1
+        h2.cancel()  # cancelling an already-fired handle is a no-op
+        assert eng.pending_events == 1
+        eng.run()
+        assert eng.pending_events == 0
+
+    def test_rearming_event_keeps_counter_exact(self):
+        eng = Engine()
+        fired = []
+
+        def rearm(k):
+            fired.append(k)
+            if k < 5:
+                eng.call_after(1.0, rearm, k + 1)
+
+        eng.call_after(1.0, rearm, 0)
+        counts = []
+        while True:
+            counts.append(eng.pending_events)
+            if not eng.step():
+                break
+        assert fired == list(range(6))
+        # one live event pending before each firing, none at the end
+        assert counts == [1, 1, 1, 1, 1, 1, 0]
+        assert eng.pending_events == 0
+
+    def test_cancel_after_fire_via_step(self):
+        eng = Engine()
+        h = eng.call_after(1.0, lambda: None)
+        eng.call_after(2.0, lambda: None)
+        assert eng.step()
+        h.cancel()
+        assert eng.pending_events == 1
+
+    def test_matches_brute_force_scan(self):
+        eng = Engine()
+        handles = [eng.call_after(i * 0.1, lambda: None) for i in range(20)]
+        for h in handles[::3]:
+            h.cancel()
+        assert eng.pending_events == sum(
+            1 for e in eng._queue if isinstance(e[-1], tuple)
+        )
+
+
+class TestCompletionFastPath:
+    """The single-callback fast path must preserve ordering semantics."""
+
+    def test_three_callbacks_fire_in_order(self):
+        eng = Engine()
+        c = Completion(eng)
+        seen = []
+        for tag in ("a", "b", "c"):
+            c.on_done(lambda v, t=tag: seen.append(t))
+        c.resolve(0)
+        assert seen == ["a", "b", "c"]
+
+    def test_callback_registered_during_resolve_fires_immediately(self):
+        eng = Engine()
+        c = Completion(eng)
+        seen = []
+
+        def outer(v):
+            seen.append("outer")
+            c.on_done(lambda v2: seen.append("inner"))
+
+        c.on_done(outer)
+        c.resolve(None)
+        assert seen == ["outer", "inner"]
+
+    def test_cancel_drops_single_and_overflow_callbacks(self):
+        eng = Engine()
+        c = Completion(eng)
+        seen = []
+        c.on_done(seen.append)
+        c.on_done(seen.append)
+        c.cancel()
+        c.resolve("late")
+        assert seen == []
