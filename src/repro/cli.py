@@ -11,6 +11,9 @@ in production (``mana_launch`` / ``mana_restart`` / coordinator status):
 * ``repro inspect`` — describe a saved checkpoint directory;
 * ``repro verify`` — model-check the two-phase protocol (§2.6);
 * ``repro bench`` — regenerate one of the paper's figures;
+* ``repro conformance`` — differential restart conformance across the
+  (MPI implementation × fabric × ranks-per-node) matrix with fuzzed
+  checkpoint times;
 * ``repro trace`` — run an app or example with structured tracing on and
   write a Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
 """
@@ -90,6 +93,40 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--check-against", default=None, metavar="FILE",
                        help="perf suite only: fail if event throughput "
                             "regresses >30%% vs this baseline document")
+
+    conf = sub.add_parser(
+        "conformance",
+        help="cross-matrix restart conformance: golden runs, fuzzed "
+             "checkpoints, restarts onto every other (MPI × fabric × "
+             "ranks-per-node) cell, equivalence oracles",
+    )
+    tier = conf.add_mutually_exclusive_group()
+    tier.add_argument("--quick", dest="tier", action="store_const",
+                      const="quick",
+                      help="the CI smoke matrix: 2 impls × 2 fabrics × "
+                           "2 layouts (default)")
+    tier.add_argument("--full", dest="tier", action="store_const",
+                      const="full",
+                      help="every implementation × every inter-node fabric "
+                           "× 3 layouts")
+    conf.set_defaults(tier="quick")
+    conf.add_argument("--seed", type=int, default=0,
+                      help="root seed of the checkpoint-time fuzzer")
+    conf.add_argument("--apps", default=None, metavar="A,B",
+                      help="comma-separated app names (default: "
+                           "gromacs,hpcg)")
+    conf.add_argument("--ranks", type=int, default=4)
+    conf.add_argument("--steps", type=int, default=4)
+    conf.add_argument("--sources", type=int, default=2, metavar="N",
+                      help="checkpoint-origin cells, spread over the matrix")
+    conf.add_argument("--ckpts-per-source", type=int, default=1, metavar="K",
+                      help="fuzzed checkpoint times per source cell")
+    conf.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                      help="worker processes for matrix cells "
+                           "(1 = in-process)")
+    conf.add_argument("--only", default=None, metavar="SRC->DST",
+                      help="run a single src-label->dst-label pair (the "
+                           "syntax divergence repro lines use)")
 
     trace = sub.add_parser(
         "trace",
@@ -310,6 +347,25 @@ def _cmd_bench_perf(args, out) -> int:
     return 0
 
 
+def cmd_conformance(args, out) -> int:
+    """``repro conformance``: the cross-matrix restart conformance sweep.
+
+    Exit code 0 only when every cycle passed every oracle; any divergence
+    prints with a one-line repro recipe and exits 1.
+    """
+    from repro.conformance import run_conformance
+
+    apps = tuple(a for a in (args.apps or "").split(",") if a) or None
+    report = run_conformance(
+        tier=args.tier, seed=args.seed, apps=apps,
+        n_ranks=args.ranks, n_steps=args.steps,
+        n_sources=args.sources, ckpts_per_source=args.ckpts_per_source,
+        jobs=args.jobs, only=args.only,
+    )
+    print(report.summary(), file=out)
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args, out) -> int:
     """``repro trace``: run a workload with tracing on, write a Chrome trace.
 
@@ -376,6 +432,7 @@ _COMMANDS = {
     "inspect": cmd_inspect,
     "verify": cmd_verify,
     "bench": cmd_bench,
+    "conformance": cmd_conformance,
     "trace": cmd_trace,
 }
 

@@ -1,0 +1,64 @@
+"""Cross-matrix restart conformance (the paper's m×n agnosticism claim,
+run as an executable, fuzzed, continuously-tested contract).
+
+A checkpoint taken under any MPI implementation on any network must restart
+correctly under *every other* implementation, fabric, and ranks-per-node
+layout.  :mod:`repro.conformance` turns that sentence into a differential
+harness:
+
+* :mod:`repro.conformance.matrix` enumerates the (MPI impl × fabric ×
+  ranks-per-node) configuration cells of the quick and full tiers;
+* :mod:`repro.conformance.oracles` defines the equivalence oracles — a
+  bit-identical final-state fingerprint and p2p byte/message conservation
+  over the merged source+restart metrics;
+* :mod:`repro.conformance.harness` runs each app to completion
+  uncheckpointed (the golden state), re-runs it with checkpoints injected
+  at seeded-random virtual times, restarts the images onto every other
+  cell, and reports every divergence with a reproduction recipe.
+
+See ``docs/conformance.md``.
+"""
+
+from repro.conformance.harness import (
+    ConformanceReport,
+    differential_cycle,
+    golden_run,
+    run_conformance,
+)
+from repro.conformance.matrix import (
+    FULL_TIER,
+    QUICK_TIER,
+    ConfigCell,
+    cluster_for,
+    enumerate_cells,
+    matrix_for,
+    source_cells,
+)
+from repro.conformance.oracles import (
+    ConservationTotals,
+    Divergence,
+    check_conservation,
+    check_golden_state,
+    conservation_totals,
+    state_fingerprint,
+)
+
+__all__ = [
+    "ConfigCell",
+    "ConformanceReport",
+    "ConservationTotals",
+    "Divergence",
+    "FULL_TIER",
+    "QUICK_TIER",
+    "check_conservation",
+    "check_golden_state",
+    "cluster_for",
+    "conservation_totals",
+    "differential_cycle",
+    "enumerate_cells",
+    "golden_run",
+    "matrix_for",
+    "run_conformance",
+    "source_cells",
+    "state_fingerprint",
+]

@@ -1,0 +1,307 @@
+"""The differential restart-equivalence harness.
+
+The check, per (app, source cell, destination cell) triple:
+
+1. **golden run** — the app runs to completion under MANA, uncheckpointed,
+   on a fixed reference cell; its final-state fingerprint and p2p traffic
+   totals are the golden answer (memoized per process);
+2. **fuzzed checkpoint** — the same app runs on the *source* cell and a
+   coordinated checkpoint is cut at a seeded-random virtual time (a
+   uniform fraction of the source run's makespan, drawn from a
+   :class:`~repro.simtime.rng.RngStreams` stream named after the triple,
+   so every cycle is reproducible from its seed alone);
+3. **cross-cell restart** — the checkpoint restarts on the *destination*
+   cell — a different MPI implementation, fabric and/or ranks-per-node
+   layout — and runs to completion;
+4. **oracles** — the restarted final state must be bit-identical to the
+   golden fingerprint, and the merged source+restart metrics must conserve
+   p2p messages and bytes and match the golden traffic exactly.
+
+:func:`run_conformance` sweeps the full tier matrix through
+:func:`~repro.harness.parallel.run_cells` — every cycle is one picklable
+:class:`~repro.harness.parallel.SweepCell`, so ``jobs=N`` fans the matrix
+over a process pool with results identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.conformance.matrix import (
+    ConfigCell,
+    cluster_for,
+    matrix_for,
+    source_cells,
+)
+from repro.conformance.oracles import (
+    ConservationTotals,
+    Divergence,
+    check_conservation,
+    check_golden_state,
+    conservation_totals,
+    state_fingerprint,
+)
+from repro.harness.parallel import SweepCell, memo, run_cells
+from repro.simtime.rng import RngStreams
+
+#: the cell whose uncheckpointed run defines the golden state (the paper's
+#: home configuration: Cray MPICH on Aries)
+REF_CELL = ConfigCell(mpi="craympich", fabric="aries", ranks_per_node=2)
+
+#: default app mix: a p2p-dense workload and a collective-heavy one
+DEFAULT_APPS = ("gromacs", "hpcg")
+
+#: checkpoints are fuzzed into this fraction band of the source makespan —
+#: never so early that no state exists, never after the app finished
+CKPT_FRACTION = (0.15, 0.85)
+
+
+def checkpoint_fraction(app: str, src: ConfigCell, seed: int, k: int) -> float:
+    """The fuzzed checkpoint time as a fraction of the source makespan.
+
+    Drawn from a named rng stream keyed on the whole (app, source, k)
+    identity, so the value depends only on ``seed`` — never on how many
+    cycles ran before this one, or in which process.
+    """
+    lo, hi = CKPT_FRACTION
+    stream = RngStreams(seed).stream(
+        f"conformance.ckpt/{app}/{src.label}/k{k}"
+    )
+    return float(stream.uniform(lo, hi))
+
+
+# ------------------------------------------------------------- golden runs
+
+@dataclass(frozen=True)
+class GoldenResult:
+    """One uncheckpointed run's answer: state, traffic, and duration."""
+
+    fingerprint: str
+    totals: ConservationTotals
+    makespan: float
+
+
+def _app_pieces(app: str, n_steps: int):
+    from repro.apps import get_app
+
+    spec = get_app(app)
+    return spec, spec.default_config.scaled(n_steps=n_steps)
+
+
+def golden_run(app: str, cell: ConfigCell = REF_CELL, n_ranks: int = 4,
+               n_steps: int = 4) -> GoldenResult:
+    """Run ``app`` to completion under MANA with no checkpoint (memoized)."""
+    key = ("conformance-golden", app, cell.as_tuple(), n_ranks, n_steps)
+
+    def compute():
+        from repro.harness.experiments import _launch_mana_app
+
+        spec, cfg = _app_pieces(app, n_steps)
+        cluster = cluster_for(cell, n_ranks)
+        job = _launch_mana_app(cluster, spec, cfg, n_ranks,
+                               cell.ranks_per_node)
+        makespan = job.run_to_completion()
+        return GoldenResult(
+            fingerprint=state_fingerprint(job.states),
+            totals=conservation_totals(job.engine.metrics),
+            makespan=makespan,
+        )
+
+    return memo(key, compute)
+
+
+def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
+                       seed: int, k: int):
+    """(checkpoint set, source-engine totals, ckpt time), memoized.
+
+    The checkpoint set is only ever *read* by restarts (the property fig9's
+    triple restart already relies on), so one source simulation feeds every
+    destination cell of the matrix within a process.
+    """
+    key = ("conformance-src", app, src.as_tuple(), n_ranks, n_steps, seed, k)
+
+    def compute():
+        from repro.harness.experiments import _launch_mana_app
+
+        t_ckpt = (checkpoint_fraction(app, src, seed, k)
+                  * golden_run(app, src, n_ranks, n_steps).makespan)
+        spec, cfg = _app_pieces(app, n_steps)
+        cluster = cluster_for(src, n_ranks)
+        job = _launch_mana_app(cluster, spec, cfg, n_ranks,
+                               src.ranks_per_node)
+        ckpt, _report = job.checkpoint_at(t_ckpt)
+        return ckpt, conservation_totals(job.engine.metrics), t_ckpt
+
+    return memo(key, compute)
+
+
+# -------------------------------------------------------------- one cycle
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Outcome of one differential cycle (picklable across pool workers)."""
+
+    app: str
+    src: tuple           # ConfigCell.as_tuple()
+    dst: tuple
+    seed: int
+    k: int
+    ckpt_time: float
+    divergences: tuple   # of Divergence
+
+    @property
+    def ok(self) -> bool:
+        """True when every oracle passed."""
+        return not self.divergences
+
+    @property
+    def pair(self) -> str:
+        """``src-label->dst-label`` — the ``--only`` filter syntax."""
+        src = ConfigCell.from_tuple(self.src)
+        dst = ConfigCell.from_tuple(self.dst)
+        return f"{src.label}->{dst.label}"
+
+    def repro(self, tier: str = "quick") -> str:
+        """A shell one-liner that re-runs exactly this cycle."""
+        return (f"python -m repro conformance --{tier} --seed {self.seed} "
+                f"--apps {self.app} --only '{self.pair}'")
+
+
+def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
+                       n_ranks: int = 4, n_steps: int = 4,
+                       seed: int = 0, k: int = 0) -> CycleResult:
+    """Run one golden/checkpoint/restart/oracle cycle and report it."""
+    from repro.mana.job import restart
+
+    ref = golden_run(app, REF_CELL, n_ranks, n_steps)
+    divergences: list[Divergence] = []
+
+    # The uncheckpointed runs themselves must agree across cells — if the
+    # app's answer already depends on the implementation or fabric, every
+    # restart oracle downstream would be chasing a phantom.
+    src_golden = golden_run(app, src, n_ranks, n_steps)
+    if src_golden.fingerprint != ref.fingerprint:
+        divergences.append(Divergence(
+            "golden_equivalence", ref.fingerprint, src_golden.fingerprint,
+            f"uncheckpointed runs differ between {REF_CELL.label} "
+            f"and {src.label}",
+        ))
+
+    ckpt, src_totals, t_ckpt = _source_checkpoint(
+        app, src, n_ranks, n_steps, seed, k
+    )
+    spec, cfg = _app_pieces(app, n_steps)
+    job2 = restart(
+        ckpt, cluster_for(dst, n_ranks), spec.build(cfg),
+        mpi=dst.mpi, ranks_per_node=dst.ranks_per_node,
+    )
+    job2.run_to_completion()
+
+    state_div = check_golden_state(ref.fingerprint, job2.states)
+    if state_div is not None:
+        divergences.append(state_div)
+    merged = src_totals + conservation_totals(job2.engine.metrics)
+    divergences.extend(check_conservation(merged, golden=ref.totals))
+
+    return CycleResult(
+        app=app, src=src.as_tuple(), dst=dst.as_tuple(),
+        seed=seed, k=k, ckpt_time=t_ckpt, divergences=tuple(divergences),
+    )
+
+
+def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
+                n_steps: int, seed: int, k: int) -> CycleResult:
+    """SweepCell entry point: primitives in, picklable CycleResult out."""
+    return differential_cycle(
+        app, ConfigCell.from_tuple(src_t), ConfigCell.from_tuple(dst_t),
+        n_ranks=n_ranks, n_steps=n_steps, seed=seed, k=k,
+    )
+
+
+# ------------------------------------------------------------- the sweep
+
+@dataclass
+class ConformanceReport:
+    """Every cycle of one conformance sweep, plus the verdict."""
+
+    tier: str
+    seed: int
+    n_ranks: int
+    n_steps: int
+    apps: tuple
+    results: list
+
+    @property
+    def divergent(self) -> list[CycleResult]:
+        """The cycles that failed at least one oracle."""
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when the whole sweep had zero divergences."""
+        return not self.divergent
+
+    def summary(self) -> str:
+        """Human-readable verdict, with a repro recipe per divergence."""
+        cells = {r.dst for r in self.results} | {r.src for r in self.results}
+        lines = [
+            f"conformance[{self.tier}] seed={self.seed}: "
+            f"{len(self.results)} cycles over {len(cells)} cells "
+            f"({len(self.apps)} apps, {self.n_ranks} ranks, "
+            f"{self.n_steps} steps) — "
+            + ("OK" if self.ok else f"{len(self.divergent)} DIVERGENT")
+        ]
+        for r in self.divergent:
+            lines.append(
+                f"DIVERGENT: {r.app} {r.pair} k{r.k} ckpt@{r.ckpt_time:.4f}s"
+            )
+            for d in r.divergences:
+                lines.append(f"  {d}")
+            lines.append(f"  repro: {r.repro(self.tier)}")
+        return "\n".join(lines)
+
+
+def run_conformance(
+    tier: str = "quick",
+    seed: int = 0,
+    apps: Optional[Sequence[str]] = None,
+    n_ranks: int = 4,
+    n_steps: int = 4,
+    n_sources: int = 2,
+    ckpts_per_source: int = 1,
+    jobs: Optional[int] = 1,
+    only: Optional[str] = None,
+) -> ConformanceReport:
+    """Sweep the tier's matrix: every app × source cell × *other* cell.
+
+    ``only`` restricts the sweep to cycles whose ``src-label->dst-label``
+    pair matches (the syntax :meth:`CycleResult.repro` emits), so a
+    divergence found in CI can be replayed as a single cycle locally.
+    """
+    apps = tuple(apps or DEFAULT_APPS)
+    dsts = matrix_for(tier)
+    srcs = source_cells(dsts, n_sources)
+    cells = [
+        SweepCell(
+            _cycle_cell,
+            (app, s.as_tuple(), d.as_tuple(), n_ranks, n_steps, seed, k),
+            label=f"conf:{app}:{s.label}->{d.label}/k{k}",
+        )
+        for app in apps
+        for s in srcs
+        for d in dsts
+        if d != s
+        for k in range(ckpts_per_source)
+        if only is None or f"{s.label}->{d.label}" == only
+    ]
+    if not cells:
+        raise ValueError(
+            f"conformance sweep selected no cycles (tier={tier!r}, "
+            f"only={only!r})"
+        )
+    results = run_cells(cells, jobs=jobs)
+    return ConformanceReport(
+        tier=tier, seed=seed, n_ranks=n_ranks, n_steps=n_steps,
+        apps=apps, results=list(results),
+    )

@@ -1,0 +1,139 @@
+"""The conformance matrix: (MPI implementation × fabric × ranks-per-node).
+
+The paper's m×n claim is quantified over configuration *cells*.  A
+:class:`ConfigCell` is one point of that matrix; the tier constants pick the
+sub-matrices the harness sweeps.  Cells are plain frozen data (picklable,
+orderable) so they travel through :class:`~repro.harness.parallel.SweepCell`
+parameters and memo keys unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.mpilib.impls import IMPLEMENTATIONS, get_implementation
+from repro.net import INTERCONNECTS
+
+#: fabrics usable as the inter-node interconnect (shmem is intra-node only)
+INTER_NODE_FABRICS = tuple(n for n in sorted(INTERCONNECTS) if n != "shmem")
+
+
+@dataclass(frozen=True, order=True)
+class ConfigCell:
+    """One (MPI impl, fabric, ranks-per-node) point of the matrix."""
+
+    mpi: str
+    fabric: str
+    ranks_per_node: int
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identity (used in labels and repro lines)."""
+        return f"{self.mpi}/{self.fabric}/rpn{self.ranks_per_node}"
+
+    def as_tuple(self) -> tuple[str, str, int]:
+        """Primitive form for SweepCell params and memo keys."""
+        return (self.mpi, self.fabric, self.ranks_per_node)
+
+    @classmethod
+    def from_tuple(cls, t: Sequence) -> "ConfigCell":
+        """Inverse of :meth:`as_tuple`."""
+        mpi, fabric, rpn = t
+        return cls(mpi=str(mpi), fabric=str(fabric), ranks_per_node=int(rpn))
+
+    def validate(self) -> None:
+        """Raise ValueError for unknown names or an impossible layout."""
+        get_implementation(self.mpi)  # raises on unknown impl
+        if self.fabric not in INTERCONNECTS:
+            raise ValueError(
+                f"unknown interconnect {self.fabric!r}; "
+                f"known: {sorted(INTERCONNECTS)}"
+            )
+        if self.ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {self.ranks_per_node}"
+            )
+
+
+def enumerate_cells(
+    mpis: Iterable[str],
+    fabrics: Iterable[str],
+    ranks_per_node: Iterable[int],
+) -> list[ConfigCell]:
+    """The full cross product, deterministically ordered and validated."""
+    cells = [
+        ConfigCell(mpi=m, fabric=f, ranks_per_node=int(r))
+        for m in mpis for f in fabrics for r in ranks_per_node
+    ]
+    seen = set()
+    for cell in cells:
+        cell.validate()
+        if cell in seen:
+            raise ValueError(f"duplicate matrix cell {cell.label}")
+        seen.add(cell)
+    return cells
+
+
+#: Quick tier: 2 impls × 2 fabrics × 2 layouts — the CI smoke matrix.  The
+#: impl pair crosses the MPICH/Open MPI ABI families and the fabric pair
+#: crosses the α/β extremes (Aries vs plain TCP).
+QUICK_TIER = {
+    "mpis": ("craympich", "openmpi"),
+    "fabrics": ("aries", "tcp"),
+    "ranks_per_node": (2, 4),
+}
+
+#: Full tier: every implementation (including the §3.5 debug build) on
+#: every inter-node fabric at three layouts.
+FULL_TIER = {
+    "mpis": tuple(IMPLEMENTATIONS),
+    "fabrics": INTER_NODE_FABRICS,
+    "ranks_per_node": (1, 2, 4),
+}
+
+_TIERS = {"quick": QUICK_TIER, "full": FULL_TIER}
+
+
+def matrix_for(tier: str) -> list[ConfigCell]:
+    """The destination cells of a named tier (``quick`` or ``full``)."""
+    try:
+        spec = _TIERS[tier]
+    except KeyError:
+        raise ValueError(
+            f"unknown conformance tier {tier!r}; known: {sorted(_TIERS)}"
+        ) from None
+    return enumerate_cells(spec["mpis"], spec["fabrics"],
+                           spec["ranks_per_node"])
+
+
+def source_cells(cells: Sequence[ConfigCell], n_sources: int) -> list[ConfigCell]:
+    """Evenly spaced source cells (checkpoint origins) out of ``cells``.
+
+    Spreading the picks across the ordered matrix guarantees the sources
+    themselves differ in implementation, fabric and layout rather than
+    clustering in one corner.
+    """
+    if n_sources < 1:
+        raise ValueError(f"need at least one source cell, got {n_sources}")
+    n_sources = min(n_sources, len(cells))
+    stride = len(cells) / n_sources
+    picked = []
+    for i in range(n_sources):
+        cell = cells[int(i * stride)]
+        if cell not in picked:
+            picked.append(cell)
+    return picked
+
+
+def cluster_for(cell: ConfigCell, n_ranks: int, name: Optional[str] = None,
+                cores_per_node: int = 32):
+    """A fresh cluster sized so ``n_ranks`` fit at the cell's layout."""
+    from repro.hardware.cluster import make_cluster
+
+    n_nodes = -(-n_ranks // cell.ranks_per_node)
+    return make_cluster(
+        name or f"conf-{cell.mpi}-{cell.fabric}-rpn{cell.ranks_per_node}",
+        n_nodes, cores_per_node=cores_per_node, interconnect=cell.fabric,
+        default_mpi=cell.mpi,
+    )

@@ -22,8 +22,10 @@ Metrics
   (native + MANA run, GROMACS/4 ranks).
 * ``sweep_speedup_j2`` — wall-clock speedup of a reduced fig3 sweep at
   ``jobs=2`` over ``jobs=1`` (≈1.0 on a single-core host, approaching the
-  worker count as cores allow; recorded, not thresholded, because it is a
-  property of the host).
+  worker count as cores allow).  On hosts with fewer than two CPUs the
+  metric is emitted with ``informational: true`` — the ratio measures the
+  host, not the code — and :func:`compare_bench` never thresholds
+  informational metrics.
 
 All metrics carry ``higher_is_better`` so a generic threshold check can
 compare any of them; see :func:`compare_bench`.
@@ -230,6 +232,9 @@ def run_suite(quick: bool = False, jobs: Optional[int] = None,
             "sweep_speedup_j2": _metric(
                 sweep["speedup"], "x", True, jobs=jobs,
                 seq_s=sweep["seq_s"], par_s=sweep["par_s"],
+                # with one CPU the pool cannot overlap work: the ratio is
+                # a host property, never a regression signal
+                informational=(os.cpu_count() or 1) < 2,
             ),
         },
     }
@@ -282,14 +287,18 @@ def compare_bench(current: dict, baseline: dict,
     A metric regresses when it moves in its *bad* direction (down for
     ``higher_is_better``, up otherwise) by more than ``max_regression``
     (fractional).  Metrics missing from the baseline are skipped — a new
-    benchmark must not fail the build that introduces it.  An empty return
-    value means within budget.
+    benchmark must not fail the build that introduces it — and so are
+    metrics flagged ``informational`` on either side (values that describe
+    the host rather than the code, like pool speedup on a single-core
+    runner).  An empty return value means within budget.
     """
     failures = []
     for key in keys:
         cur = current["metrics"].get(key)
         base = baseline["metrics"].get(key)
         if cur is None or base is None or base["value"] == 0:
+            continue
+        if cur.get("informational") or base.get("informational"):
             continue
         ratio = cur["value"] / base["value"]
         if cur["higher_is_better"]:

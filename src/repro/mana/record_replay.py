@@ -29,12 +29,14 @@ class LogEntry:
     ``op`` names the MPI operation; ``args`` are plain data and virtual
     handles only (picklable); ``result_vid`` is the virtual id the original
     call produced (None for frees and for non-member comm_create/split
-    results).
+    results); ``result_kind`` is the handle namespace that id lives in, so
+    replay rebinds into the right table even for non-comm results.
     """
 
     op: str
     args: tuple
     result_vid: Optional[int]
+    result_kind: HandleKind = HandleKind.COMM
 
 
 class RecordLog:
@@ -43,9 +45,10 @@ class RecordLog:
     def __init__(self) -> None:
         self.entries: list[LogEntry] = []
 
-    def record(self, op: str, args: tuple, result_vid: Optional[int]) -> None:
+    def record(self, op: str, args: tuple, result_vid: Optional[int],
+               result_kind: HandleKind = HandleKind.COMM) -> None:
         """Append one persistent-call entry."""
-        self.entries.append(LogEntry(op, tuple(args), result_vid))
+        self.entries.append(LogEntry(op, tuple(args), result_vid, result_kind))
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -77,30 +80,66 @@ class ReplayEngine:
         self.finished = Completion(engine, label=f"{label}:finished")
         self._idx = 0
         self.replayed = 0
+        self._pumping = False
+        self._blocked = False
 
     def start(self) -> None:
         # COMM_WORLD is predefined: bind it before anything else.
         """Begin execution (schedules the first event)."""
-        self.engine.call_after(0.0, self._step, label="replay:start")
+        self.engine.call_after(0.0, self._pump, label="replay:start")
 
     # ------------------------------------------------------------ stepping
+    #
+    # The drain loop is iterative: local entries (datatypes, group algebra,
+    # frees) complete synchronously inside one pass of the while loop, so a
+    # log of any length replays in O(1) stack depth.  Collective entries
+    # park the loop (``_blocked``) until the lower half's completion fires;
+    # ``_continue`` then re-enters the pump.  The re-entrancy guard makes a
+    # completion that resolves synchronously equivalent to a local entry.
 
-    def _step(self) -> None:
-        if self._idx >= len(self.log.entries):
-            self.finished.resolve(self.replayed)
+    def _pump(self) -> None:
+        if self._pumping:
             return
-        entry = self.log.entries[self._idx]
-        self._idx += 1
-        handler = getattr(self, f"_replay_{entry.op}", None)
-        if handler is None:
-            raise ValueError(f"no replay handler for op {entry.op!r}")
-        handler(entry)
+        self._pumping = True
+        try:
+            while not self._blocked and self._idx < len(self.log.entries):
+                entry = self.log.entries[self._idx]
+                self._idx += 1
+                handler = getattr(self, f"_replay_{entry.op}", None)
+                if handler is None:
+                    raise ValueError(f"no replay handler for op {entry.op!r}")
+                self._blocked = True
+                handler(entry)
+        finally:
+            self._pumping = False
+        if (not self._blocked and self._idx >= len(self.log.entries)
+                and not self.finished.done):
+            self.finished.resolve(self.replayed)
+
+    def _local_done(self) -> None:
+        """A local entry finished synchronously; the pump loop continues."""
+        self.replayed += 1
+        self._blocked = False
 
     def _continue(self, entry: LogEntry, real: Any) -> None:
         if entry.result_vid is not None:
-            self.table.rebind(HandleKind.COMM, entry.result_vid, real)
+            self._bind(entry.result_kind, entry.result_vid, real)
         self.replayed += 1
-        self._step()
+        self._blocked = False
+        self._pump()
+
+    def _bind(self, kind: HandleKind, vid: int, real: Any) -> None:
+        """Bind a replayed creation result under its original virtual id.
+
+        Handles still bound when the image was cut are *rebinds* (the strict
+        path — the restored table expects exactly those ids); handles that
+        were freed again before the checkpoint are fresh registrations that
+        a later free entry in this same log will retire.
+        """
+        if self.table.expects_rebind(kind, vid):
+            self.table.rebind(kind, vid, real)
+        else:
+            self.table.register(kind, real, virtual=vid)
 
     def _resolve_comm(self, vid: int) -> Any:
         return self.table.resolve(HandleKind.COMM, vid)
@@ -143,15 +182,13 @@ class ReplayEngine:
         # The create entry earlier in the log re-bound this vid; retire it
         # again so the table converges to the pre-checkpoint bindings.
         self.table.unregister(HandleKind.COMM, vid)
-        self.replayed += 1
-        self._step()
+        self._local_done()
 
     def _replay_type_create(self, entry: LogEntry) -> None:
         (recipe, vid) = entry.args
         real = rebuild_datatype(recipe)
-        self.table.rebind(HandleKind.DATATYPE, vid, real)
-        self.replayed += 1
-        self._step()
+        self._bind(HandleKind.DATATYPE, vid, real)
+        self._local_done()
 
     # --------------------------------------------------------- file ops
 
@@ -162,12 +199,8 @@ class ReplayEngine:
         done = self.endpoint.file_open(path, mode, self._resolve_comm(vcomm))
 
         def rebind(real: Any) -> None:
-            self.table.rebind(
-                HandleKind.FILE, entry.result_vid,
-                FileBinding(real=real, vcomm=vcomm, path=path, mode=mode),
-            )
-            self.replayed += 1
-            self._step()
+            binding = FileBinding(real=real, vcomm=vcomm, path=path, mode=mode)
+            self._continue(entry, binding)
 
         done.on_done(rebind)
 
@@ -176,15 +209,13 @@ class ReplayEngine:
         binding = self.table.resolve(HandleKind.FILE, vid)
         binding.real.close()
         self.table.unregister(HandleKind.FILE, vid)
-        self.replayed += 1
-        self._step()
+        self._local_done()
 
     # ------------------------------------------------- group ops (local)
 
     def _rebind_group(self, entry: LogEntry, group: Group) -> None:
-        self.table.rebind(HandleKind.GROUP, entry.result_vid, group)
-        self.replayed += 1
-        self._step()
+        self._bind(HandleKind.GROUP, entry.result_vid, group)
+        self._local_done()
 
     def _replay_comm_group(self, entry: LogEntry) -> None:
         (parent_vid,) = entry.args
@@ -217,5 +248,4 @@ class ReplayEngine:
     def _replay_group_free(self, entry: LogEntry) -> None:
         (vid,) = entry.args
         self.table.unregister(HandleKind.GROUP, vid)
-        self.replayed += 1
-        self._step()
+        self._local_done()

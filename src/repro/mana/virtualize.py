@@ -47,6 +47,9 @@ class VirtualHandleTable:
         # virtual ids start above the predefined range
         self._counters = {kind: itertools.count(1000) for kind in HandleKind}
         self._real: dict[HandleKind, dict[int, Any]] = {k: {} for k in HandleKind}
+        #: vids whose real side was discarded (restore / clear_reals) and
+        #: that replay is therefore entitled to rebind
+        self._expected: dict[HandleKind, set[int]] = {k: set() for k in HandleKind}
         #: cumulative lookup count (drives the modeled overhead and tests)
         self.lookups = 0
 
@@ -64,8 +67,27 @@ class VirtualHandleTable:
         return vid
 
     def rebind(self, kind: HandleKind, virtual: int, real: Any) -> None:
-        """Point an existing virtual id at a fresh real object (restart path)."""
-        self._real[kind][int(virtual)] = real
+        """Point an existing virtual id at a fresh real object (restart path).
+
+        Strict: the vid must either be live (re-pointing a current binding)
+        or be owed a real object from the restored snapshot's bound set /
+        :meth:`clear_reals`.  Rebinding a vid the table has never known is a
+        replay bug — raising here surfaces it instead of silently minting a
+        binding nothing else is accounting for.
+        """
+        vid = int(virtual)
+        if vid not in self._real[kind] and vid not in self._expected[kind]:
+            raise VirtualizationError(
+                f"virtual {kind.value} handle {vid} was never bound; "
+                "refusing to rebind a dangling handle"
+            )
+        self._expected[kind].discard(vid)
+        self._real[kind][vid] = real
+
+    def expects_rebind(self, kind: HandleKind, virtual: int) -> bool:
+        """True if ``virtual`` is owed a real object by replay (it was bound
+        when the snapshot was cut / the lower half was discarded)."""
+        return int(virtual) in self._expected[kind]
 
     def unregister(self, kind: HandleKind, virtual: int) -> None:
         """Drop a binding (e.g. MPI_Comm_free)."""
@@ -120,10 +142,14 @@ class VirtualHandleTable:
 
     def restore(self, snap: dict) -> None:
         """Install counters from a snapshot; bindings start empty (real
-        objects are supplied by :meth:`rebind` during replay)."""
+        objects are supplied by :meth:`rebind` during replay).  The
+        snapshot's bound-vid sets become the rebind entitlement."""
         for kind in HandleKind:
             self._counters[kind] = itertools.count(snap["next"].get(kind.value, 1000))
             self._real[kind].clear()
+            self._expected[kind] = set(
+                int(v) for v in snap["bound"].get(kind.value, ())
+            )
 
     def clear_reals(self) -> list[tuple[HandleKind, int]]:
         """Forget every real object (the lower half is being discarded);
@@ -132,5 +158,6 @@ class VirtualHandleTable:
             (kind, vid) for kind in HandleKind for vid in self._real[kind]
         ]
         for kind in HandleKind:
+            self._expected[kind].update(self._real[kind])
             self._real[kind].clear()
         return dangling

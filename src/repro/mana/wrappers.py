@@ -644,7 +644,8 @@ class ManaApi(MpiApi):
         def register(real: Any) -> None:
             binding = FileBinding(real=real, vcomm=vcomm, path=path, mode=mode)
             vid = rt.table.register(HandleKind.FILE, binding)
-            rt.log.record("file_open", (vcomm, path, mode), vid)
+            rt.log.record("file_open", (vcomm, path, mode), vid,
+                          result_kind=HandleKind.FILE)
             out.resolve(vid)
 
         self._collective(
@@ -703,7 +704,8 @@ class ManaApi(MpiApi):
         binding = self._resolve_file(vfile)
         binding.real.close()
         self.rt.table.unregister(HandleKind.FILE, vfile)
-        self.rt.log.record("file_close", (vfile,), None)
+        self.rt.log.record("file_close", (vfile,), None,
+                           result_kind=HandleKind.FILE)
 
     # --------------------------------------------------------------- groups
     #
@@ -717,7 +719,8 @@ class ManaApi(MpiApi):
         parent_vid = VCOMM_WORLD if comm is None else comm
         group = self._resolve_comm(comm).group
         vid = self.rt.table.register(HandleKind.GROUP, group)
-        self.rt.log.record("comm_group", (parent_vid,), vid)
+        self.rt.log.record("comm_group", (parent_vid,), vid,
+                           result_kind=HandleKind.GROUP)
         return vid
 
     def _resolve_group(self, vgroup: int) -> Group:
@@ -725,7 +728,8 @@ class ManaApi(MpiApi):
 
     def _derive_group(self, op: str, vgroup: int, arg, derived: Group) -> int:
         vid = self.rt.table.register(HandleKind.GROUP, derived)
-        self.rt.log.record(op, (vgroup, arg), vid)
+        self.rt.log.record(op, (vgroup, arg), vid,
+                           result_kind=HandleKind.GROUP)
         return vid
 
     def group_incl(self, vgroup: int, ranks: list[int]) -> int:
@@ -753,7 +757,8 @@ class ManaApi(MpiApi):
     def group_free(self, vgroup: int) -> None:
         """MPI_Group_free: retire the handle (recorded for replay)."""
         self.rt.table.unregister(HandleKind.GROUP, vgroup)
-        self.rt.log.record("group_free", (vgroup,), None)
+        self.rt.log.record("group_free", (vgroup,), None,
+                           result_kind=HandleKind.GROUP)
 
     def group_size(self, vgroup: int) -> int:
         """Number of ranks in the group."""
@@ -767,7 +772,8 @@ class ManaApi(MpiApi):
 
     def _new_type(self, dtype: Datatype) -> int:
         vid = self.rt.table.register(HandleKind.DATATYPE, dtype)
-        self.rt.log.record("type_create", (dtype.recipe, vid), vid)
+        self.rt.log.record("type_create", (dtype.recipe, vid), vid,
+                           result_kind=HandleKind.DATATYPE)
         return vid
 
     def type_contiguous(self, count: int, base: Datatype) -> int:

@@ -1,0 +1,143 @@
+"""The differential harness end to end: a real sweep with zero divergences,
+determinism across process-pool fan-out, seeded reproducibility of the
+checkpoint fuzzer — and the proof the oracles have teeth: a deliberately
+injected restore bug, caught with a repro recipe."""
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    ConfigCell,
+    differential_cycle,
+    golden_run,
+    matrix_for,
+    run_conformance,
+)
+from repro.conformance.harness import (
+    CKPT_FRACTION,
+    REF_CELL,
+    checkpoint_fraction,
+)
+from repro.mana.checkpoint_image import CheckpointImage
+
+SRC = ConfigCell("craympich", "aries", 2)
+DST = ConfigCell("openmpi", "tcp", 4)
+
+
+# ------------------------------------------------------------- the sweep
+
+def test_quick_sweep_has_zero_divergences():
+    """The acceptance gate: >=2 impls x 2 fabrics x 2 layouts, fuzzed
+    checkpoint times, every cycle bit-identical and conserving."""
+    report = run_conformance(tier="quick", seed=0, jobs=1)
+    assert report.ok, report.summary()
+    cells = {ConfigCell.from_tuple(r.dst) for r in report.results}
+    cells |= {ConfigCell.from_tuple(r.src) for r in report.results}
+    assert len({c.mpi for c in cells}) >= 2
+    assert len({c.fabric for c in cells}) >= 2
+    assert len({c.ranks_per_node for c in cells}) >= 2
+    assert "OK" in report.summary()
+
+
+def test_sweep_is_deterministic_across_jobs():
+    """jobs=1 and jobs=2 must produce identical rows (the run_cells
+    determinism contract extends to conformance)."""
+    kw = dict(tier="quick", seed=3, apps=("gromacs",), n_sources=1)
+    seq = run_conformance(jobs=1, **kw)
+    par = run_conformance(jobs=2, **kw)
+    assert seq.results == par.results
+
+
+def test_checkpoint_times_are_fuzzed_and_seed_reproducible():
+    lo, hi = CKPT_FRACTION
+    fracs = {
+        checkpoint_fraction("gromacs", src, seed=0, k=k)
+        for src in matrix_for("quick") for k in (0, 1)
+    }
+    assert len(fracs) > 1, "fuzzer produced a constant checkpoint time"
+    assert all(lo <= f <= hi for f in fracs)
+    # same (seed, identity) -> same draw; different seed -> different draw
+    assert (checkpoint_fraction("hpcg", SRC, 5, 0)
+            == checkpoint_fraction("hpcg", SRC, 5, 0))
+    assert (checkpoint_fraction("hpcg", SRC, 5, 0)
+            != checkpoint_fraction("hpcg", SRC, 6, 0))
+
+
+def test_report_exit_contract_and_only_filter():
+    rep = run_conformance(tier="quick", apps=("gromacs",), n_sources=1,
+                          only=f"{SRC.label}->{DST.label}")
+    assert len(rep.results) == 1
+    assert rep.results[0].pair == f"{SRC.label}->{DST.label}"
+    with pytest.raises(ValueError, match="no cycles"):
+        run_conformance(tier="quick", only="nope->nope")
+
+
+def test_golden_runs_agree_across_cells():
+    """Uncheckpointed runs must already be cell-independent — the premise
+    the differential oracle stands on."""
+    ref = golden_run("gromacs", REF_CELL, n_ranks=4, n_steps=4)
+    other = golden_run("gromacs", ConfigCell("intelmpi", "omnipath", 1),
+                       n_ranks=4, n_steps=4)
+    assert ref.fingerprint == other.fingerprint
+    assert ref.totals == other.totals
+
+
+# ----------------------------------------------------- injected-bug tests
+
+def _perturb_first_array(state: dict) -> bool:
+    """Flip the low-order bits of the first float array in app state."""
+    for key in sorted(state["app_state"]):
+        val = state["app_state"][key]
+        if isinstance(val, np.ndarray) and val.dtype.kind == "f" and val.size:
+            val.flat[0] = np.nextafter(val.flat[0], np.inf)
+            return True
+    return False
+
+
+def test_injected_restore_bug_is_caught(monkeypatch):
+    """A single-ULP corruption of one rank's restored state — the smallest
+    possible replay/restore bug — must surface as a golden_state divergence
+    carrying a runnable repro line."""
+    clean = differential_cycle("gromacs", SRC, DST, seed=1)
+    assert clean.ok
+
+    fired = []
+    real_restore = CheckpointImage.restore_state
+
+    def corrupted(self):
+        state = real_restore(self)
+        if self.rank == 0 and _perturb_first_array(state):
+            fired.append(True)
+        return state
+
+    monkeypatch.setattr(CheckpointImage, "restore_state", corrupted)
+    buggy = differential_cycle("gromacs", SRC, DST, seed=1)
+    assert fired, "the injected corruption never executed"
+    assert not buggy.ok
+    assert "golden_state" in {d.oracle for d in buggy.divergences}
+    assert buggy.pair in buggy.repro("quick")
+    assert f"--seed {buggy.seed}" in buggy.repro("quick")
+
+
+def test_injected_lost_state_key_is_caught(monkeypatch):
+    """Dropping a whole key from a restored rank's state (a restore-path
+    bug losing data outright) is also caught."""
+    real_restore = CheckpointImage.restore_state
+
+    def lossy(self):
+        state = real_restore(self)
+        if self.rank == 1:
+            for key in sorted(state["app_state"]):
+                if isinstance(state["app_state"][key], np.ndarray):
+                    del state["app_state"][key]
+                    break
+        return state
+
+    monkeypatch.setattr(CheckpointImage, "restore_state", lossy)
+    # dropping app arrays usually crashes the program text; either outcome
+    # (divergence report or a raised failure) means the bug cannot land
+    try:
+        buggy = differential_cycle("hpcg", SRC, DST, seed=2)
+    except Exception:
+        return
+    assert not buggy.ok

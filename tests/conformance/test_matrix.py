@@ -1,0 +1,86 @@
+"""Conformance matrix: cell identity, tier enumeration, source spreading."""
+
+import pytest
+
+from repro.conformance import (
+    FULL_TIER,
+    QUICK_TIER,
+    ConfigCell,
+    cluster_for,
+    enumerate_cells,
+    matrix_for,
+    source_cells,
+)
+from repro.conformance.matrix import INTER_NODE_FABRICS
+
+
+def test_cell_roundtrip_and_label():
+    cell = ConfigCell("openmpi", "tcp", 4)
+    assert ConfigCell.from_tuple(cell.as_tuple()) == cell
+    assert cell.label == "openmpi/tcp/rpn4"
+
+
+def test_cells_are_picklable_and_orderable():
+    import pickle
+
+    cells = matrix_for("quick")
+    assert pickle.loads(pickle.dumps(cells)) == cells
+    assert sorted(cells) == sorted(cells, key=lambda c: c.as_tuple())
+
+
+@pytest.mark.parametrize("bad", [
+    ConfigCell("no-such-mpi", "tcp", 2),
+    ConfigCell("openmpi", "no-such-net", 2),
+    ConfigCell("openmpi", "tcp", 0),
+])
+def test_validate_rejects_bad_cells(bad):
+    with pytest.raises(ValueError):
+        bad.validate()
+
+
+def test_quick_tier_spans_the_acceptance_floor():
+    """The quick matrix must cover >=2 impls x 2 fabrics x 2 layouts."""
+    cells = matrix_for("quick")
+    assert len({c.mpi for c in cells}) >= 2
+    assert len({c.fabric for c in cells}) >= 2
+    assert len({c.ranks_per_node for c in cells}) >= 2
+    assert len(cells) == (
+        len(QUICK_TIER["mpis"]) * len(QUICK_TIER["fabrics"])
+        * len(QUICK_TIER["ranks_per_node"])
+    )
+
+
+def test_full_tier_covers_every_impl_and_internode_fabric():
+    cells = matrix_for("full")
+    assert {c.mpi for c in cells} == set(FULL_TIER["mpis"])
+    assert {c.fabric for c in cells} == set(INTER_NODE_FABRICS)
+    assert "shmem" not in {c.fabric for c in cells}
+
+
+def test_unknown_tier_raises():
+    with pytest.raises(ValueError, match="unknown conformance tier"):
+        matrix_for("exhaustive")
+
+
+def test_enumerate_cells_rejects_duplicates():
+    with pytest.raises(ValueError, match="duplicate"):
+        enumerate_cells(["openmpi", "openmpi"], ["tcp"], [2])
+
+
+def test_source_cells_spread_across_the_matrix():
+    cells = matrix_for("full")
+    srcs = source_cells(cells, 3)
+    assert len(srcs) == 3
+    assert len({c.mpi for c in srcs}) > 1, \
+        "sources should not cluster in one implementation"
+    # degenerate requests clamp instead of failing
+    assert source_cells(cells[:2], 5) == cells[:2]
+    with pytest.raises(ValueError):
+        source_cells(cells, 0)
+
+
+def test_cluster_for_builds_the_cell_layout():
+    cell = ConfigCell("mpich", "infiniband", 2)
+    cluster = cluster_for(cell, n_ranks=8)
+    assert len(cluster.nodes) == 4  # ceil(8 / 2)
+    assert cluster.default_mpi == "mpich"

@@ -179,3 +179,88 @@ def test_replay_time_counted_in_restart_report(cluster):
     assert rep.replay_time > 0, "comm replay is collective work, takes time"
     # §3.4: opaque-id recreation is a small share of restart
     assert rep.replay_time < 0.5 * rep.total_time
+
+
+# ----------------------------------------------- long-log iterative replay
+
+def _build_local_heavy_table_and_log(n_entries):
+    """An original-run table + log made (almost) entirely of local entries:
+    derived datatypes and group algebra, with some handles freed again
+    before the snapshot so replay exercises both bind paths."""
+    from repro.mpilib.comm import Group
+    from repro.mpilib.datatypes import contiguous
+    from repro.mpilib import DOUBLE
+    from repro.mana.record_replay import RecordLog
+    from repro.mana.virtualize import VCOMM_WORLD, VirtualHandleTable
+
+    class _WorldStub:
+        group = Group((0, 1, 2, 3))
+
+    world = _WorldStub()
+    table = VirtualHandleTable()
+    table.register(HandleKind.COMM, world, virtual=VCOMM_WORLD)
+    log = RecordLog()
+
+    gvid = table.register(HandleKind.GROUP, world.group)
+    log.record("comm_group", (VCOMM_WORLD,), gvid,
+               result_kind=HandleKind.GROUP)
+    for i in range(n_entries):
+        if i % 2 == 0:
+            dt = contiguous(2 + i % 5, DOUBLE)
+            vid = table.register(HandleKind.DATATYPE, dt)
+            log.record("type_create", (dt.recipe, vid), vid,
+                       result_kind=HandleKind.DATATYPE)
+        else:
+            derived = world.group.incl([0, 1])
+            vid = table.register(HandleKind.GROUP, derived)
+            log.record("group_incl", (gvid, (0, 1)), vid,
+                       result_kind=HandleKind.GROUP)
+            if i % 4 == 1:  # freed before the checkpoint: replay re-frees it
+                table.unregister(HandleKind.GROUP, vid)
+                log.record("group_free", (vid,), None,
+                           result_kind=HandleKind.GROUP)
+    return world, table, log
+
+
+def test_long_local_log_replays_without_recursion():
+    """Regression: ~1000+ consecutive local entries used to recurse through
+    _step and blow the interpreter's recursion limit on restart."""
+    import sys
+
+    from repro.mana.record_replay import RecordLog, ReplayEngine
+    from repro.mana.virtualize import VCOMM_WORLD, VirtualHandleTable
+    from repro.simtime import Engine
+
+    n_entries = 4 * sys.getrecursionlimit()  # far beyond any stack budget
+    world, table, log = _build_local_heavy_table_and_log(n_entries)
+    n_logged = len(log)
+
+    fresh = VirtualHandleTable()
+    fresh.restore(table.snapshot())
+    fresh.rebind(HandleKind.COMM, VCOMM_WORLD, world)
+    log2 = RecordLog()
+    log2.restore(log.snapshot())
+
+    engine = Engine()
+    replay = ReplayEngine(engine, None, fresh, log2)
+    replay.start()
+    engine.run()
+
+    assert replay.finished.done
+    assert replay.finished.value == replay.replayed == n_logged
+    # the table converged to the pre-checkpoint bindings, kind by kind
+    for kind in HandleKind:
+        assert sorted(fresh.bound(kind)) == sorted(table.bound(kind))
+
+
+def test_log_entries_carry_result_kind():
+    """Non-comm creations must not rebind into the COMM namespace: the
+    recorded entry carries its handle kind through the checkpoint image."""
+    from repro.mana.record_replay import LogEntry
+
+    _world, _table, log = _build_local_heavy_table_and_log(8)
+    kinds = {e.op: e.result_kind for e in log.entries}
+    assert kinds["type_create"] is HandleKind.DATATYPE
+    assert kinds["group_incl"] is HandleKind.GROUP
+    # default stays COMM so comm-management entries are unchanged
+    assert LogEntry("comm_dup", (1,), 1000).result_kind is HandleKind.COMM

@@ -109,3 +109,38 @@ def test_snapshot_is_picklable(table):
     table.register(HandleKind.COMM, object())
     snap = pickle.loads(pickle.dumps(table.snapshot()))
     assert snap["bound"]["comm"]
+
+
+def test_rebind_never_registered_vid_raises(table):
+    """Replay bugs that rebind a dangling handle must surface, not be
+    silently masked by minting a binding nothing accounts for."""
+    with pytest.raises(VirtualizationError, match="never bound"):
+        table.rebind(HandleKind.COMM, 4242, "ghost")
+
+
+def test_rebind_allowed_only_for_snapshot_bound_set(table):
+    live = table.register(HandleKind.COMM, "live")
+    freed = table.register(HandleKind.COMM, "freed")
+    table.unregister(HandleKind.COMM, freed)
+    snap = table.snapshot()
+
+    fresh = VirtualHandleTable()
+    fresh.restore(snap)
+    assert fresh.expects_rebind(HandleKind.COMM, live)
+    assert not fresh.expects_rebind(HandleKind.COMM, freed)
+    fresh.rebind(HandleKind.COMM, live, "live2")
+    with pytest.raises(VirtualizationError, match="never bound"):
+        fresh.rebind(HandleKind.COMM, freed, "freed2")
+    with pytest.raises(VirtualizationError, match="never bound"):
+        fresh.rebind(HandleKind.GROUP, live, "wrong-namespace")
+
+
+def test_rebind_after_clear_reals(table):
+    vid = table.register(HandleKind.DATATYPE, "dt")
+    dangling = table.clear_reals()
+    assert (HandleKind.DATATYPE, vid) in dangling
+    assert table.expects_rebind(HandleKind.DATATYPE, vid)
+    table.rebind(HandleKind.DATATYPE, vid, "dt2")
+    assert table.resolve(HandleKind.DATATYPE, vid) == "dt2"
+    # the entitlement is consumed: a second restart must re-clear first
+    assert not table.expects_rebind(HandleKind.DATATYPE, vid)

@@ -1,0 +1,102 @@
+"""Property tests: VirtualHandleTable snapshot/restore/clear_reals round-trips.
+
+Across every handle kind, an arbitrary register/unregister history must
+round-trip through snapshot+restore with counter continuity (no id reuse),
+an exactly-preserved bound-vid set, and strict dangling-handle errors for
+everything outside that set.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.mana.virtualize import (
+    HandleKind,
+    VirtualHandleTable,
+    VirtualizationError,
+)
+
+KINDS = list(HandleKind)
+
+#: one history step: (kind index, action) — register a fresh handle, or
+#: unregister the i-th oldest still-bound one of that kind
+_steps = st.lists(
+    st.tuples(st.integers(0, len(KINDS) - 1),
+              st.one_of(st.none(), st.integers(0, 5))),
+    min_size=0, max_size=40,
+)
+
+
+def _apply_history(table: VirtualHandleTable, steps) -> None:
+    for kind_idx, action in steps:
+        kind = KINDS[kind_idx]
+        if action is None:
+            table.register(kind, object())
+        else:
+            bound = sorted(table.bound(kind))
+            if bound:
+                table.unregister(kind, bound[action % len(bound)])
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=_steps)
+def test_snapshot_restore_roundtrip(steps):
+    table = VirtualHandleTable()
+    _apply_history(table, steps)
+    bound_before = {k: set(table.bound(k)) for k in KINDS}
+    snap = pickle.loads(pickle.dumps(table.snapshot()))
+
+    fresh = VirtualHandleTable()
+    fresh.restore(snap)
+    for kind in KINDS:
+        # the snapshot's bound set is exactly the rebind entitlement...
+        for vid in bound_before[kind]:
+            assert fresh.expects_rebind(kind, vid)
+            fresh.rebind(kind, vid, object())
+        assert set(fresh.bound(kind)) == bound_before[kind]
+        # ...and counter continuity: fresh mints never collide with old ids
+        new_vid = fresh.register(kind, object())
+        assert all(new_vid > old for old in bound_before[kind])
+        twin = VirtualHandleTable()
+        twin.restore(snap)
+        assert twin.register(kind, object()) == new_vid, \
+            "restore must be deterministic: same snapshot, same next id"
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=_steps)
+def test_clear_reals_roundtrip(steps):
+    table = VirtualHandleTable()
+    _apply_history(table, steps)
+    bound_before = {k: set(table.bound(k)) for k in KINDS}
+
+    dangling = table.clear_reals()
+    assert set(dangling) == {
+        (k, vid) for k in KINDS for vid in bound_before[k]
+    }
+    for kind, vid in dangling:
+        # every cleared handle is dangling until replay rebinds it
+        with pytest.raises(VirtualizationError, match="dangling"):
+            table.resolve(kind, vid)
+        table.rebind(kind, vid, object())
+        table.resolve(kind, vid)  # now live again
+    for kind in KINDS:
+        assert set(table.bound(kind)) == bound_before[kind]
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=_steps, probe=st.integers(0, 10_000))
+def test_restore_rejects_vids_outside_bound_set(steps, probe):
+    table = VirtualHandleTable()
+    _apply_history(table, steps)
+    snap = table.snapshot()
+    fresh = VirtualHandleTable()
+    fresh.restore(snap)
+    for kind in KINDS:
+        bound = set(snap["bound"][kind.value])
+        if probe in bound:
+            continue
+        with pytest.raises(VirtualizationError):
+            fresh.rebind(kind, probe, object())
