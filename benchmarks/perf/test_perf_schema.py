@@ -26,6 +26,8 @@ def _valid_doc(events=500_000.0):
                         "higher_is_better": False},
         "sweep_speedup_j2": {"value": 1.0, "unit": "x",
                              "higher_is_better": True},
+        "facility_makespan_s": {"value": 0.5, "unit": "s",
+                                "higher_is_better": False},
     }
     return {"schema": BENCH_SCHEMA, "quick": False,
             "host": {"cpu_count": 4, "python": "3.11.0"},
@@ -42,6 +44,7 @@ def test_valid_doc_passes():
     (lambda d: d["host"].update(cpu_count=0), "cpu_count"),
     (lambda d: d.pop("metrics"), "metrics"),
     (lambda d: d["metrics"].pop("engine_events_per_s"), "core metric"),
+    (lambda d: d["metrics"].pop("facility_makespan_s"), "core metric"),
     (lambda d: d["metrics"]["fig2_cell_s"].update(value="fast"), "finite"),
     (lambda d: d["metrics"]["fig2_cell_s"].update(value=float("nan")), "finite"),
     (lambda d: d["metrics"]["fig2_cell_s"].update(value=float("inf")), "finite"),

@@ -35,6 +35,12 @@ def test_metric_values_are_plausible(doc):
     assert 0 < m["ckpt_restart_cycle_s"]["value"] < 60
     assert 0 < m["fig2_cell_s"]["value"] < 60
     assert m["sweep_speedup_j2"]["value"] > 0
+    assert 0 < m["facility_makespan_s"]["value"] < 120
+
+
+def test_facility_makespan_benchmark(benchmark):
+    wall = run_once(benchmark, perfbench.bench_facility_makespan, 10)
+    assert wall < 120
 
 
 def test_event_throughput_benchmark(benchmark):

@@ -15,7 +15,10 @@ in production (``mana_launch`` / ``mana_restart`` / coordinator status):
   (MPI implementation × fabric × ranks-per-node) matrix with fuzzed
   checkpoint times;
 * ``repro trace`` — run an app or example with structured tracing on and
-  write a Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+  write a Chrome trace-event JSON (loadable in Perfetto / chrome://tracing);
+* ``repro facility`` — host a whole queued workload on one shared cluster:
+  preemptive scheduling via induced checkpoints, shared-Lustre contention,
+  crash-requeue, and the facility operations report.
 """
 
 from __future__ import annotations
@@ -127,6 +130,43 @@ def _build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--only", default=None, metavar="SRC->DST",
                       help="run a single src-label->dst-label pair (the "
                            "syntax divergence repro lines use)")
+    conf.add_argument("--report", default=None, metavar="FILE",
+                      help="also write the full cycle-by-cycle report as "
+                           "JSON (the scheduled-CI artifact)")
+
+    fac = sub.add_parser(
+        "facility",
+        help="multi-tenant checkpoint facility: queue a job mix on one "
+             "shared cluster, preempt via induced checkpoints, report "
+             "node-hours lost / queue waits / checkpoint traffic",
+    )
+    fac.add_argument("--policy", default="fifo",
+                     choices=["backfill", "fifo"])
+    fac.add_argument("--mix", default="tiny",
+                     choices=["tiny", "mixed", "priority"])
+    fac.add_argument("--n-jobs", type=int, default=40, metavar="N",
+                     help="jobs in the generated workload (default: 40)")
+    fac.add_argument("--nodes", type=int, default=8)
+    fac.add_argument("--cores-per-node", type=int, default=16)
+    fac.add_argument("--net", default="aries",
+                     choices=sorted(INTERCONNECTS))
+    fac.add_argument("--mpi", default=None, choices=list(IMPLEMENTATIONS))
+    fac.add_argument("--seed", type=int, default=0,
+                     help="workload + straggler seed (runs are "
+                          "deterministic per seed)")
+    fac.add_argument("--ckpt-interval", type=float, default=None,
+                     metavar="T", help="periodic checkpoint interval in "
+                                       "virtual seconds (default: off)")
+    fac.add_argument("--sweep", action="store_true",
+                     help="run the full policy x mix sweep instead of a "
+                          "single facility")
+    fac.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                     help="sweep only: worker processes for sweep cells "
+                          "(1 = in-process)")
+    fac.add_argument("--show-jobs", type=int, default=None, metavar="N",
+                     help="also print the first N per-job rows")
+    fac.add_argument("--json", default=None, metavar="FILE",
+                     help="write the aggregate report as JSON")
 
     trace = sub.add_parser(
         "trace",
@@ -363,7 +403,49 @@ def cmd_conformance(args, out) -> int:
         jobs=args.jobs, only=args.only,
     )
     print(report.summary(), file=out)
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report.as_dict(), f, indent=2, sort_keys=True)
+        print(f"wrote {args.report}", file=out)
     return 0 if report.ok else 1
+
+
+def cmd_facility(args, out) -> int:
+    """``repro facility``: run a queued workload through the facility.
+
+    One facility per invocation (or, with ``--sweep``, every policy × mix
+    cell in parallel).  Exit code 0 when every job completed; 1 if any job
+    was unschedulable.
+    """
+    from repro.facility import Facility, facility_sweep, generate_jobs
+    from repro.harness import render_table
+    from repro.hardware.cluster import make_cluster
+
+    if args.sweep:
+        table = facility_sweep(
+            n_jobs=args.n_jobs, n_nodes=args.nodes, seed=args.seed,
+            ckpt_interval=args.ckpt_interval, jobs=args.jobs,
+        )
+        print(render_table(table), file=out)
+        return 0
+
+    cluster = make_cluster(
+        "facility-cli", args.nodes, cores_per_node=args.cores_per_node,
+        interconnect=args.net, default_mpi=args.mpi or "craympich",
+    )
+    fac = Facility(cluster, scheduler=args.policy, seed=args.seed,
+                   checkpoint_interval=args.ckpt_interval)
+    fac.submit_all(generate_jobs(args.mix, args.n_jobs, seed=args.seed))
+    rep = fac.run()
+    print(rep.summary(), file=out)
+    if args.show_jobs:
+        print(file=out)
+        print(render_table(rep.job_table(limit=args.show_jobs)), file=out)
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(rep.to_json())
+        print(f"wrote {args.json}", file=out)
+    return 0 if rep.failed_jobs == 0 else 1
 
 
 def cmd_trace(args, out) -> int:
@@ -433,6 +515,7 @@ _COMMANDS = {
     "verify": cmd_verify,
     "bench": cmd_bench,
     "conformance": cmd_conformance,
+    "facility": cmd_facility,
     "trace": cmd_trace,
 }
 

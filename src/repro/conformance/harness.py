@@ -49,25 +49,50 @@ from repro.simtime.rng import RngStreams
 #: home configuration: Cray MPICH on Aries)
 REF_CELL = ConfigCell(mpi="craympich", fabric="aries", ranks_per_node=2)
 
-#: default app mix: a p2p-dense workload and a collective-heavy one
-DEFAULT_APPS = ("gromacs", "hpcg")
+#: default app mix: a p2p-dense workload, a collective-heavy one, and a
+#: rank-count-constrained one (LULESH only runs on cube rank counts — the
+#: non-power-of-two shape the matrix layouts must survive)
+DEFAULT_APPS = ("gromacs", "hpcg", "lulesh")
 
 #: checkpoints are fuzzed into this fraction band of the source makespan —
 #: never so early that no state exists, never after the app finished
 CKPT_FRACTION = (0.15, 0.85)
 
 
-def checkpoint_fraction(app: str, src: ConfigCell, seed: int, k: int) -> float:
+def effective_ranks(app: str, n_ranks: int) -> int:
+    """Resolve the requested rank count through the app's own constraint.
+
+    ``AppSpec.valid_ranks`` rounds *down* (LULESH: largest cube ≤ n), which
+    can collapse to a single rank — useless for a harness whose whole point
+    is cross-rank protocol state.  Grow the request until at least two
+    ranks survive the constraint.
+    """
+    from repro.apps import get_app
+
+    spec = get_app(app)
+    want = max(n_ranks, 2)
+    n = spec.valid_ranks(want)
+    while n < 2:
+        want *= 2
+        n = spec.valid_ranks(want)
+    return n
+
+
+def checkpoint_fraction(app: str, src: ConfigCell, seed: int, k: int,
+                        hop: int = 0) -> float:
     """The fuzzed checkpoint time as a fraction of the source makespan.
 
     Drawn from a named rng stream keyed on the whole (app, source, k)
     identity, so the value depends only on ``seed`` — never on how many
-    cycles ran before this one, or in which process.
+    cycles ran before this one, or in which process.  ``hop`` keys the
+    *second* cut of a chained cycle (checkpoint → restart → checkpoint
+    again); hop 0 keeps the historical stream names.
     """
     lo, hi = CKPT_FRACTION
-    stream = RngStreams(seed).stream(
-        f"conformance.ckpt/{app}/{src.label}/k{k}"
-    )
+    name = f"conformance.ckpt/{app}/{src.label}/k{k}"
+    if hop:
+        name += f"/hop{hop}"
+    stream = RngStreams(seed).stream(name)
     return float(stream.uniform(lo, hi))
 
 
@@ -97,9 +122,10 @@ def golden_run(app: str, cell: ConfigCell = REF_CELL, n_ranks: int = 4,
     def compute():
         from repro.harness.experiments import _launch_mana_app
 
+        n_eff = effective_ranks(app, n_ranks)
         spec, cfg = _app_pieces(app, n_steps)
-        cluster = cluster_for(cell, n_ranks)
-        job = _launch_mana_app(cluster, spec, cfg, n_ranks,
+        cluster = cluster_for(cell, n_eff)
+        job = _launch_mana_app(cluster, spec, cfg, n_eff,
                                cell.ranks_per_node)
         makespan = job.run_to_completion()
         return GoldenResult(
@@ -126,9 +152,10 @@ def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
 
         t_ckpt = (checkpoint_fraction(app, src, seed, k)
                   * golden_run(app, src, n_ranks, n_steps).makespan)
+        n_eff = effective_ranks(app, n_ranks)
         spec, cfg = _app_pieces(app, n_steps)
-        cluster = cluster_for(src, n_ranks)
-        job = _launch_mana_app(cluster, spec, cfg, n_ranks,
+        cluster = cluster_for(src, n_eff)
+        job = _launch_mana_app(cluster, spec, cfg, n_eff,
                                src.ranks_per_node)
         ckpt, _report = job.checkpoint_at(t_ckpt)
         return ckpt, conservation_totals(job.engine.metrics), t_ckpt
@@ -170,8 +197,16 @@ class CycleResult:
 
 def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
                        n_ranks: int = 4, n_steps: int = 4,
-                       seed: int = 0, k: int = 0) -> CycleResult:
-    """Run one golden/checkpoint/restart/oracle cycle and report it."""
+                       seed: int = 0, k: int = 0,
+                       chain: bool = False) -> CycleResult:
+    """Run one golden/checkpoint/restart/oracle cycle and report it.
+
+    With ``chain=True`` the cycle becomes a two-hop round trip: checkpoint
+    on ``src``, restart on ``dst``, cut a *second* fuzzed checkpoint of the
+    restarted job, restart that image back on ``src``, and only then apply
+    the oracles — the state must survive two migrations and the traffic
+    totals of all three segments must still conserve against the golden.
+    """
     from repro.mana.job import restart
 
     ref = golden_run(app, REF_CELL, n_ranks, n_steps)
@@ -191,17 +226,43 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
     ckpt, src_totals, t_ckpt = _source_checkpoint(
         app, src, n_ranks, n_steps, seed, k
     )
+    n_eff = effective_ranks(app, n_ranks)
     spec, cfg = _app_pieces(app, n_steps)
     job2 = restart(
-        ckpt, cluster_for(dst, n_ranks), spec.build(cfg),
+        ckpt, cluster_for(dst, n_eff), spec.build(cfg),
         mpi=dst.mpi, ranks_per_node=dst.ranks_per_node,
     )
-    job2.run_to_completion()
 
-    state_div = check_golden_state(ref.fingerprint, job2.states)
+    mid_totals = None
+    final_job = job2
+    if chain:
+        # drive past the restart read/replay so the second cut lands on a
+        # live application, then fuzz it into the remaining-work band
+        while not job2.resumed.done:
+            if not job2.engine.step():
+                raise RuntimeError("restarted job never went live")
+        remaining = max(src_golden.makespan - t_ckpt, 1e-9)
+        frac2 = checkpoint_fraction(app, src, seed, k, hop=1)
+        t2 = job2.engine.now + frac2 * remaining
+        job2.run_until(t2)
+        if not job2.finished.done:
+            ckpt2, _rep2 = job2.checkpoint()
+            mid_totals = conservation_totals(job2.engine.metrics)
+            final_job = restart(
+                ckpt2, cluster_for(src, n_eff), spec.build(cfg),
+                mpi=src.mpi, ranks_per_node=src.ranks_per_node,
+            )
+        # else: the dst cell outran the fuzzed window — the cycle
+        # degenerates to a single hop, which is still a full oracle check
+
+    final_job.run_to_completion()
+
+    state_div = check_golden_state(ref.fingerprint, final_job.states)
     if state_div is not None:
         divergences.append(state_div)
-    merged = src_totals + conservation_totals(job2.engine.metrics)
+    merged = src_totals + conservation_totals(final_job.engine.metrics)
+    if mid_totals is not None:
+        merged = merged + mid_totals
     divergences.extend(check_conservation(merged, golden=ref.totals))
 
     return CycleResult(
@@ -212,10 +273,15 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
 
 def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
                 n_steps: int, seed: int, k: int) -> CycleResult:
-    """SweepCell entry point: primitives in, picklable CycleResult out."""
+    """SweepCell entry point: primitives in, picklable CycleResult out.
+
+    Cycles beyond the first per source (``k > 0``) run as two-hop chains —
+    ``--ckpts-per-source 2`` therefore fuzzes both single restarts and
+    checkpoint → restart → checkpoint → restart round trips.
+    """
     return differential_cycle(
         app, ConfigCell.from_tuple(src_t), ConfigCell.from_tuple(dst_t),
-        n_ranks=n_ranks, n_steps=n_steps, seed=seed, k=k,
+        n_ranks=n_ranks, n_steps=n_steps, seed=seed, k=k, chain=k > 0,
     )
 
 
@@ -260,6 +326,30 @@ class ConformanceReport:
                 lines.append(f"  {d}")
             lines.append(f"  repro: {r.repro(self.tier)}")
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly view (the CI artifact format)."""
+        return {
+            "tier": self.tier,
+            "seed": self.seed,
+            "n_ranks": self.n_ranks,
+            "n_steps": self.n_steps,
+            "apps": list(self.apps),
+            "ok": self.ok,
+            "cycles": len(self.results),
+            "cycle_results": [
+                {
+                    "app": r.app,
+                    "pair": r.pair,
+                    "k": r.k,
+                    "ckpt_time": r.ckpt_time,
+                    "ok": r.ok,
+                    "divergences": [str(d) for d in r.divergences],
+                    "repro": None if r.ok else r.repro(self.tier),
+                }
+                for r in self.results
+            ],
+        }
 
 
 def run_conformance(

@@ -1,0 +1,43 @@
+"""repro.facility: a multi-tenant checkpoint facility on one virtual clock.
+
+The subsystem that turns "one MANA job per engine" into "a machine room per
+engine": a shared cluster, a preemptive scheduler whose eviction mechanism
+is the coordinated checkpoint of Algorithm 2, shared-Lustre bandwidth
+contention between concurrently-draining tenants, and facility-level
+accounting (node-hours lost, queue waits, checkpoint traffic, utilization).
+
+Entry points: build a :class:`Facility`, :meth:`~Facility.submit_all` a
+workload from :func:`~repro.facility.workload.generate_jobs`, then
+:meth:`~Facility.run` — or sweep policies × mixes with
+:func:`~repro.facility.sweep.facility_sweep`.
+"""
+
+from repro.facility.facility import Facility, FacilityError
+from repro.facility.metrics import FacilityReport
+from repro.facility.scheduler import (
+    BackfillScheduler,
+    FifoScheduler,
+    SchedulerPolicy,
+    make_scheduler,
+)
+from repro.facility.sharedfs import StorageArbiter
+from repro.facility.spec import JobRecord, JobSpec, JobState
+from repro.facility.sweep import facility_cell, facility_sweep
+from repro.facility.workload import generate_jobs
+
+__all__ = [
+    "BackfillScheduler",
+    "Facility",
+    "FacilityError",
+    "FacilityReport",
+    "FifoScheduler",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "SchedulerPolicy",
+    "StorageArbiter",
+    "facility_cell",
+    "facility_sweep",
+    "generate_jobs",
+    "make_scheduler",
+]

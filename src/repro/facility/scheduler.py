@@ -1,0 +1,133 @@
+"""Scheduling policies: who runs next, and who gets preempted for it.
+
+Both policies order the queue by ``(-priority, submit_time, job_id)`` and
+differ only in how they treat a head job that does not fit:
+
+* :class:`FifoScheduler` blocks — strict submission order, nothing younger
+  may overtake the head (head-of-line blocking and all);
+* :class:`BackfillScheduler` skips it and admits any later job that fits
+  right now (first-fit backfill without reservations — the aggressive
+  variant; see docs/facility.md for why no-reservation is acceptable when
+  preemption bounds the head job's wait).
+
+Preemption is policy-independent: when the highest-priority pending job
+cannot start, both policies checkpoint-and-requeue the cheapest set of
+strictly-lower-priority running jobs that frees enough nodes (Algorithm 2
+makes that a loss-free SIGTERM).  The selection is deterministic —
+lowest priority first, then most recently started, then highest job id —
+so a seeded facility run replays identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.facility.spec import JobRecord
+
+
+def queue_order(records: list[JobRecord]) -> list[JobRecord]:
+    """Canonical queue ordering: priority first, then submission order."""
+    return sorted(
+        records,
+        key=lambda r: (-r.spec.priority, r.spec.submit_time, r.spec.job_id),
+    )
+
+
+class SchedulerPolicy:
+    """Interface: pure decisions over job records, no facility state."""
+
+    name = "policy"
+
+    def select(self, pending: list[JobRecord], free_nodes: int) -> list[JobRecord]:
+        """Jobs to start now, in start order, fitting ``free_nodes``."""
+        raise NotImplementedError
+
+    def preemption_plan(
+        self,
+        pending: list[JobRecord],
+        running: list[tuple[JobRecord, int, float]],
+        free_nodes: int,
+        incoming_nodes: int = 0,
+    ) -> Optional[tuple[JobRecord, list[JobRecord]]]:
+        """Whom to checkpoint-preempt so the queue head can start.
+
+        ``running`` carries ``(record, n_nodes, start_time)`` for every
+        preemptible running job; ``incoming_nodes`` counts nodes already
+        being freed by in-flight preemptions (never preempt for capacity
+        that is already on its way).  Returns ``(beneficiary, victims)``
+        or None.  Only the single highest-priority blocked job is
+        considered per scheduling round — no preemption cascades.
+        """
+        if not pending:
+            return None
+        cand = queue_order(pending)[0]
+        needed = cand.spec.n_nodes - free_nodes - incoming_nodes
+        if needed <= 0:
+            # fits once in-flight preemptions drain; nothing new to kill
+            return None
+        victims_pool = [
+            (rec, n, t0) for rec, n, t0 in running
+            if rec.spec.priority < cand.spec.priority
+        ]
+        # cheapest evictions first: lowest priority, then the job that
+        # has the least sunk work (started most recently)
+        victims_pool.sort(key=lambda v: (v[0].spec.priority, -v[2],
+                                         -v[0].spec.job_id))
+        chosen: list[JobRecord] = []
+        freed = 0
+        for rec, n, _t0 in victims_pool:
+            chosen.append(rec)
+            freed += n
+            if freed >= needed:
+                return cand, chosen
+        return None  # even evicting everything eligible is not enough
+
+
+class FifoScheduler(SchedulerPolicy):
+    """Strict queue order; the head blocks the machine until it fits."""
+
+    name = "fifo"
+
+    def select(self, pending: list[JobRecord], free_nodes: int) -> list[JobRecord]:
+        """Admit in queue order, stopping at the first job that does not fit."""
+        out: list[JobRecord] = []
+        for rec in queue_order(pending):
+            if rec.spec.n_nodes > free_nodes:
+                break
+            out.append(rec)
+            free_nodes -= rec.spec.n_nodes
+        return out
+
+
+class BackfillScheduler(SchedulerPolicy):
+    """First-fit backfill: skip what does not fit, admit whatever does."""
+
+    name = "backfill"
+
+    def select(self, pending: list[JobRecord], free_nodes: int) -> list[JobRecord]:
+        """Admit every queued job that fits right now, in queue order."""
+        out: list[JobRecord] = []
+        for rec in queue_order(pending):
+            if free_nodes <= 0:
+                break
+            if rec.spec.n_nodes > free_nodes:
+                continue
+            out.append(rec)
+            free_nodes -= rec.spec.n_nodes
+        return out
+
+
+POLICIES: dict[str, type[SchedulerPolicy]] = {
+    FifoScheduler.name: FifoScheduler,
+    BackfillScheduler.name: BackfillScheduler,
+}
+
+
+def make_scheduler(name: str) -> SchedulerPolicy:
+    """Instantiate a policy by name (``fifo`` or ``backfill``)."""
+    try:
+        return POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None

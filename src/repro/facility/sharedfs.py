@@ -1,0 +1,86 @@
+"""Shared-Lustre contention across tenants: the storage arbiter.
+
+The NERSC deployment experience the facility reproduces is that checkpoint
+*storms* — many jobs draining images at once — are what actually limits a
+production MANA installation, not any single job's write time.  The model:
+
+* every checkpoint write burst and every restart read burst occupies a
+  *drain window* ``[now, now + burst.max_time]`` on the shared backend;
+* a new burst starting while ``k`` windows are still open gets
+  ``aggregate_bandwidth / (k + 1)`` — even fair-share, which is what
+  Lustre TBF QoS rules enforce site-wide.  The share is fixed at admission
+  (bursts are atomic in the model), a deliberate simplification documented
+  in docs/facility.md;
+* per-node injection bandwidth is untouched: the facility allocates whole
+  nodes, so two tenants never share a NIC.
+
+The arbiter also keeps the facility's storage-traffic ledger (bytes and
+burst counts by direction, peak concurrency), which feeds
+:class:`~repro.facility.metrics.FacilityReport`.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.storage import WriteReport
+from repro.simtime import Engine
+
+
+class StorageArbiter:
+    """Divides shared backend bandwidth among concurrently-draining jobs.
+
+    Installed onto a cluster's :class:`~repro.hardware.storage.LustreModel`
+    via its ``arbiter`` field; the model calls :meth:`begin_burst` before
+    timing a burst and :meth:`end_burst` with the finished report.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        #: end times of drain windows still believed active
+        self._windows: list[float] = []
+        self.bytes_written = 0
+        self.bytes_read = 0
+        self.write_bursts = 0
+        self.read_bursts = 0
+        #: most streams ever sharing the backend at one admission
+        self.peak_streams = 1
+        self._pending_streams = 1
+
+    # ---------------------------------------------------- LustreModel hook
+
+    def begin_burst(self, total_bytes: int, read: bool = False) -> int:
+        """Admit a burst *now*; returns how many streams share the backend."""
+        now = self.engine.now
+        self._windows = [end for end in self._windows if end > now]
+        streams = len(self._windows) + 1
+        self._pending_streams = streams
+        if streams > self.peak_streams:
+            self.peak_streams = streams
+        return streams
+
+    def end_burst(self, report: WriteReport, read: bool = False) -> None:
+        """Record the finished burst: open its window, tally its traffic."""
+        self._windows.append(self.engine.now + report.max_time)
+        if read:
+            self.bytes_read += report.total_bytes
+            self.read_bursts += 1
+        else:
+            self.bytes_written += report.total_bytes
+            self.write_bursts += 1
+        m = self.engine.metrics
+        direction = "read" if read else "write"
+        m.counter(f"facility.storage.{direction}_bytes").inc(report.total_bytes)
+        m.histogram("facility.storage.burst_seconds").observe(report.max_time)
+        m.gauge("facility.storage.peak_streams").set(self.peak_streams)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def active_streams(self) -> int:
+        """Drain windows still open at the current virtual time."""
+        now = self.engine.now
+        return sum(1 for end in self._windows if end > now)
+
+    @property
+    def total_bytes(self) -> int:
+        """All checkpoint/restart traffic moved through the backend."""
+        return self.bytes_written + self.bytes_read

@@ -1,0 +1,127 @@
+"""Job specifications and queue records for the multi-tenant facility.
+
+A :class:`JobSpec` is what a user submits (``sbatch``): which application,
+how many ranks, how many whole nodes, a priority.  A :class:`JobRecord` is
+the facility's mutable accounting sheet for that submission — state,
+allocation, accumulated queue wait, node-seconds of useful work and of
+overhead, the newest saved checkpoint.  Records survive preemptions and
+crash-requeues; the underlying :class:`~repro.mana.job.ManaJob` does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.mana.checkpoint_image import CheckpointSet
+
+
+class JobState(Enum):
+    """Lifecycle of one submission inside the facility."""
+
+    #: submitted but not yet arrived (its submit_time lies in the future);
+    #: the scheduler must not see it
+    HELD = "held"
+    #: waiting in the queue (from arrival, and again after every requeue)
+    PENDING = "pending"
+    #: allocated and executing (includes restart read/replay)
+    RUNNING = "running"
+    #: selected for preemption; the induced checkpoint is in flight
+    PREEMPTING = "preempting"
+    #: finished normally; final state fingerprint recorded
+    COMPLETED = "completed"
+    #: permanently unschedulable (asks for more nodes than survive)
+    FAILED = "failed"
+
+
+#: states from which a record never leaves
+TERMINAL_STATES = frozenset({JobState.COMPLETED, JobState.FAILED})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submission: the immutable request the scheduler reasons about."""
+
+    job_id: int
+    app: str
+    n_ranks: int
+    #: whole nodes to allocate (facility scheduling is node-granular, like
+    #: Cori's); ranks are spread evenly across them at launch
+    n_nodes: int
+    n_steps: int
+    #: larger = more important; a pending job may preempt strictly
+    #: lower-priority running ones
+    priority: int = 0
+    #: virtual time at which the job enters the queue
+    submit_time: float = 0.0
+    #: MPI implementation override (None = facility cluster default)
+    mpi: Optional[str] = None
+    #: per-rank modeled memory override (None = the app's default; workload
+    #: mixes cap this to keep checkpoint sizes proportionate to tiny jobs)
+    mem_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_ranks <= 0:
+            raise ValueError(f"job {self.job_id}: need ranks > 0, got {self.n_ranks}")
+        if self.n_nodes <= 0 or self.n_nodes > self.n_ranks:
+            raise ValueError(
+                f"job {self.job_id}: need 0 < n_nodes <= n_ranks, "
+                f"got {self.n_nodes} nodes for {self.n_ranks} ranks"
+            )
+        if self.submit_time < 0:
+            raise ValueError(f"job {self.job_id}: negative submit_time")
+
+    @property
+    def name(self) -> str:
+        """Human-readable identity used in traces and cluster-slice names."""
+        return f"job{self.job_id:04d}-{self.app}x{self.n_ranks}"
+
+
+@dataclass
+class JobRecord:
+    """Mutable facility-side accounting for one :class:`JobSpec`."""
+
+    spec: JobSpec
+    state: JobState = JobState.HELD
+    #: set while PENDING: when the current wait began
+    queued_since: Optional[float] = None
+    #: accumulated seconds spent waiting in the queue (across requeues)
+    queue_wait: float = 0.0
+    #: first time the job was allocated (None until then)
+    first_start: Optional[float] = None
+    #: time the record went terminal
+    end_time: Optional[float] = None
+    #: node-seconds the job held an allocation (work + overhead)
+    node_seconds_used: float = 0.0
+    #: node-seconds of pure overhead: checkpoint protocol time, restart
+    #: read/replay time, and work redone after a crash
+    node_seconds_lost: float = 0.0
+    #: times the scheduler checkpoint-preempted this job
+    preemptions: int = 0
+    #: node crashes that took this job down
+    crashes: int = 0
+    #: restarts from a checkpoint (preemption resumes + crash recoveries)
+    restarts: int = 0
+    #: coordinated checkpoints completed (induced + periodic)
+    checkpoints: int = 0
+    #: newest saved checkpoint; requeued jobs restart from it
+    ckpt: Optional[CheckpointSet] = field(default=None, repr=False)
+    #: facility time at which :attr:`ckpt` finished writing
+    ckpt_saved_at: Optional[float] = None
+    #: SHA-256 over the final application state (set on completion)
+    fingerprint: Optional[str] = None
+    #: why the job went FAILED (empty otherwise)
+    failure_reason: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        """True once the record can never change again."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        """Submit-to-finish wall time (None until terminal)."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.spec.submit_time

@@ -1,0 +1,102 @@
+"""Seeded job-mix generators: the facility's synthetic workloads.
+
+Each mix draws every stochastic choice (app, size, steps, arrival gap,
+priority) from its own named :class:`~repro.simtime.rng.RngStreams` stream,
+so a ``(mix, n_jobs, seed)`` triple always produces the identical list of
+:class:`~repro.facility.spec.JobSpec` — the determinism the facility sweep
+and the ``-j 1`` ≡ ``-j N`` contract rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.apps.base import get_app
+from repro.facility.spec import JobSpec
+from repro.simtime.rng import RngStreams
+
+MB = 1 << 20
+
+#: apps light enough to queue by the hundreds (lulesh exercises the
+#: non-power-of-two ``valid_ranks`` hook)
+DEFAULT_APPS: tuple[str, ...] = ("gromacs", "hpcg", "lulesh")
+
+#: known mixes (see docs/facility.md for the glossary)
+MIXES: tuple[str, ...] = ("tiny", "mixed", "priority")
+
+
+def _pick(rng, seq):
+    """Deterministically pick one element of ``seq``."""
+    return seq[int(rng.integers(0, len(seq)))]
+
+
+def generate_jobs(
+    mix: str,
+    n_jobs: int,
+    seed: int = 0,
+    apps: Sequence[str] = DEFAULT_APPS,
+    max_nodes: int = 4,
+    mem_cap_mb: Optional[int] = 96,
+) -> list[JobSpec]:
+    """Build the job list for one facility run.
+
+    ``tiny``
+        single-node 1–2-rank jobs, all submitted at t=0 (a queue flush —
+        the ≥100-job acceptance scenario);
+    ``mixed``
+        node counts up to ``max_nodes``, staggered Poisson-ish arrivals,
+        uniform priority — exercises backfill;
+    ``priority``
+        a ``mixed`` base at priority 0 plus ~20% high-priority jobs
+        arriving mid-run — forces checkpoint-preemption.
+    """
+    if mix not in MIXES:
+        raise ValueError(f"unknown mix {mix!r}; known: {list(MIXES)}")
+    if n_jobs <= 0:
+        raise ValueError(f"need n_jobs > 0, got {n_jobs}")
+    streams = RngStreams(seed)
+    rng = streams.stream(f"facility.workload/{mix}")
+    mem_cap = None if mem_cap_mb is None else mem_cap_mb * MB
+
+    specs: list[JobSpec] = []
+    arrival = 0.0
+    for job_id in range(n_jobs):
+        app_name = _pick(rng, list(apps))
+        app = get_app(app_name)
+        if mix == "tiny":
+            n_nodes = 1
+            want_ranks = int(rng.integers(1, 3))
+            submit = 0.0
+            priority = 0
+            n_steps = int(rng.integers(2, 4))
+        else:
+            n_nodes = _pick(rng, [1, 1, 2, min(4, max_nodes), max_nodes])
+            want_ranks = n_nodes * int(rng.integers(2, 5))
+            # arrivals outpace service so the machine stays saturated and
+            # backfill has holes to fill
+            arrival += float(rng.exponential(0.002))
+            submit = round(arrival, 6)
+            priority = 0
+            n_steps = int(rng.integers(4, 13))
+            if mix == "priority" and rng.random() < 0.2:
+                # wide urgent jobs arriving into a full machine: the case
+                # that forces checkpoint-preemption of running tenants
+                priority = 1
+                n_nodes = max_nodes
+                want_ranks = n_nodes * int(rng.integers(2, 5))
+        # respect the app's rank-count constraint (lulesh wants cubes) while
+        # still covering every allocated node
+        want = max(want_ranks, n_nodes)
+        n_ranks = app.valid_ranks(want)
+        while n_ranks < n_nodes:
+            want *= 2
+            n_ranks = app.valid_ranks(want)
+        mem = None
+        if mem_cap is not None:
+            mem = min(app.default_config.mem_bytes, mem_cap)
+        specs.append(JobSpec(
+            job_id=job_id, app=app_name, n_ranks=n_ranks, n_nodes=n_nodes,
+            n_steps=n_steps, priority=priority, submit_time=submit,
+            mem_bytes=mem,
+        ))
+    return specs

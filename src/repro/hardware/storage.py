@@ -58,6 +58,13 @@ class LustreModel:
     #: bandwidths are divided by this factor while it is > 1.  Set through
     #: :meth:`degrade` / :meth:`restore` by the fault injector.
     slowdown: float = 1.0
+    #: Optional multi-tenant bandwidth arbiter (duck-typed; see
+    #: :class:`repro.facility.sharedfs.StorageArbiter`).  When set, each
+    #: burst asks it how many drain streams currently share the backend and
+    #: divides the aggregate ceiling accordingly, then reports the finished
+    #: burst back for traffic accounting.  Per-node injection bandwidth is
+    #: unaffected: tenants never share a compute node.
+    arbiter: Optional[object] = None
 
     def degrade(self, factor: float) -> None:
         """Enter a slow-I/O window: divide all bandwidths by ``factor``."""
@@ -103,6 +110,14 @@ class LustreModel:
         node_bw = self.per_node_bandwidth / self.slowdown
         backend_bw = self.aggregate_bandwidth / self.slowdown
 
+        # Multi-tenant contention: concurrently draining jobs split the
+        # backend evenly (fair-share QoS, what Lustre TBF policies enforce).
+        if self.arbiter is not None:
+            streams = self.arbiter.begin_burst(
+                total_bytes=int(sizes_arr.sum()), read=read
+            )
+            backend_bw /= max(1, int(streams))
+
         # Node-level contention: ranks on one node share its injection band.
         writers_per_node = {nid: int(c) for nid, c in
                             zip(*np.unique(nodes_arr, return_counts=True))}
@@ -123,10 +138,13 @@ class LustreModel:
             np.minimum(mult, self.straggler_cap, out=mult)
             times = times * mult
 
-        return WriteReport(
+        report = WriteReport(
             max_time=float(times.max()),
             median_time=float(np.median(times)),
             p90_time=float(np.percentile(times, 90)),
             per_rank=times,
             total_bytes=int(sizes_arr.sum()),
         )
+        if self.arbiter is not None:
+            self.arbiter.end_burst(report, read=read)
+        return report

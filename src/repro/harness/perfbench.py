@@ -26,6 +26,9 @@ Metrics
   metric is emitted with ``informational: true`` — the ratio measures the
   host, not the code — and :func:`compare_bench` never thresholds
   informational metrics.
+* ``facility_makespan_s`` — wall seconds to drain a whole multi-tenant
+  facility workload (FIFO, tiny mix) through one shared engine: the cost
+  of the scheduler + many-jobs-one-engine multiplexing path.
 
 All metrics carry ``higher_is_better`` so a generic threshold check can
 compare any of them; see :func:`compare_bench`.
@@ -49,6 +52,7 @@ CORE_METRICS = (
     "ckpt_restart_cycle_s",
     "fig2_cell_s",
     "sweep_speedup_j2",
+    "facility_makespan_s",
 )
 
 
@@ -171,6 +175,30 @@ def bench_sweep_speedup(jobs: int = 2) -> dict[str, float]:
     return {"seq_s": seq, "par_s": par, "speedup": seq / par}
 
 
+def bench_facility_makespan(n_jobs: int = 40) -> float:
+    """Wall seconds to drain an ``n_jobs`` tiny-mix facility workload.
+
+    Exercises the whole multi-tenant path — scheduler rounds, many MANA
+    jobs multiplexed on one engine, the shared-storage arbiter — with no
+    preemptions or faults, so the number tracks orchestration overhead
+    rather than any single job's simulation cost.
+    """
+    from repro.facility import Facility, generate_jobs
+    from repro.hardware.cluster import make_cluster
+
+    t0 = time.perf_counter()
+    cluster = make_cluster("perf-facility", 8, cores_per_node=16,
+                           interconnect="aries", default_mpi="craympich")
+    fac = Facility(cluster, scheduler="fifo", seed=0)
+    fac.submit_all(generate_jobs("tiny", n_jobs, seed=0))
+    rep = fac.run()
+    if rep.completed_jobs != n_jobs:
+        raise RuntimeError(
+            f"facility bench dropped jobs: {rep.completed_jobs}/{n_jobs}"
+        )
+    return time.perf_counter() - t0
+
+
 # ------------------------------------------------------------------ suite
 
 def _metric(value: float, unit: str, higher_is_better: bool,
@@ -216,6 +244,11 @@ def run_suite(quick: bool = False, jobs: Optional[int] = None,
     say(f"  {sweep['seq_s']:.2f}s -> {sweep['par_s']:.2f}s "
         f"({sweep['speedup']:.2f}x)")
 
+    say("facility workload drain...")
+    facility_jobs = 15 if quick else 40
+    facility = bench_facility_makespan(facility_jobs)
+    say(f"  {facility:.3f} s ({facility_jobs} jobs)")
+
     return {
         "schema": BENCH_SCHEMA,
         "quick": quick,
@@ -235,6 +268,9 @@ def run_suite(quick: bool = False, jobs: Optional[int] = None,
                 # with one CPU the pool cannot overlap work: the ratio is
                 # a host property, never a regression signal
                 informational=(os.cpu_count() or 1) < 2,
+            ),
+            "facility_makespan_s": _metric(
+                facility, "s", False, n_jobs=facility_jobs,
             ),
         },
     }

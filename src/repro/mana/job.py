@@ -32,7 +32,7 @@ from repro.mana.split_process import SplitProcess
 from repro.mpilib.launcher import init_time, launch
 from repro.mprog.ast import Program
 from repro.mprog.interp import ProgramState
-from repro.simtime import Engine
+from repro.simtime import Completion, Engine
 from repro.simtime.engine import all_of
 
 MB = 1 << 20
@@ -71,6 +71,12 @@ class ManaJob:
         self.finished = all_of(
             engine, [rt.driver.finished for rt in runtimes], label="mana-job"
         )
+        #: resolves once the application is actually executing: immediately
+        #: on :meth:`start` for a fresh launch, or after init + image reads +
+        #: record-replay for a restart.  A facility scheduler must not
+        #: checkpoint a job before this fires — mid-replay there is nothing
+        #: coherent to quiesce.
+        self.resumed = Completion(engine, label="mana-job:resumed")
         self.restart_report: Optional[RestartReport] = None
 
     # ------------------------------------------------------------ execution
@@ -79,7 +85,17 @@ class ManaJob:
         """Begin execution (schedules the first event)."""
         for rt in self.runtimes:
             rt.driver.start()
+        if not self.resumed.done:
+            self.resumed.resolve(None)
         return self
+
+    def kill(self) -> None:
+        """Tear the whole job down (the facility's SIGKILL after a
+        preemption checkpoint, or a job-fatal node crash): every rank
+        runtime dies and its in-flight completions are cancelled.
+        Idempotent; recovery means :func:`restart` from a checkpoint."""
+        for rt in self.runtimes:
+            rt.kill()
 
     def run_until(self, t: float) -> float:
         """Advance the simulation to absolute virtual time ``t``."""
@@ -250,6 +266,7 @@ def restart(
         meta=dict(ckpt.meta, restarted=True),
     )
 
+    t_start = engine.now
     t_init = init_time(world.impl, n_ranks)
     read = cluster.storage.burst(
         [img.size_bytes for img in ckpt.images],
@@ -269,14 +286,17 @@ def restart(
 
         def resume_all(_values) -> None:
             replay_time = engine.now - replay_start
+            # total is *elapsed* restart time — on a shared multi-tenant
+            # engine the clock does not start at 0 when the restart begins
             job.restart_report = RestartReport(
-                total_time=engine.now,
+                total_time=engine.now - t_start,
                 read_time=t_read,
                 replay_time=replay_time,
                 init_time=t_init,
             )
             for rt in runtimes:
                 rt.finish_restore()
+            job.resumed.resolve(None)
 
         all_of(engine, [rp.finished for rp in replays],
                label="restart-replay").on_done(resume_all)

@@ -25,7 +25,9 @@ class Category:
       messages;
     * ``checkpoint`` — rank-side checkpoint work (drain, image write);
     * ``mpi`` — interposed MPI calls as the application sees them;
-    * ``fault`` — injected faults.
+    * ``fault`` — injected faults;
+    * ``facility`` — multi-tenant scheduler decisions (submit, start,
+      preempt, requeue, crash-requeue).
     """
 
     ENGINE = "engine"
@@ -33,11 +35,12 @@ class Category:
     CHECKPOINT = "checkpoint"
     MPI = "mpi"
     FAULT = "fault"
+    FACILITY = "facility"
 
     #: every category above (the default recording set)
-    ALL = frozenset({ENGINE, PROTOCOL, CHECKPOINT, MPI, FAULT})
+    ALL = frozenset({ENGINE, PROTOCOL, CHECKPOINT, MPI, FAULT, FACILITY})
     #: ALL minus the high-volume engine dispatch events
-    DEFAULT = frozenset({PROTOCOL, CHECKPOINT, MPI, FAULT})
+    DEFAULT = frozenset({PROTOCOL, CHECKPOINT, MPI, FAULT, FACILITY})
 
 
 @dataclass

@@ -141,3 +141,43 @@ def test_injected_lost_state_key_is_caught(monkeypatch):
     except Exception:
         return
     assert not buggy.ok
+
+
+# ------------------------------------------------- chained cycles + lulesh
+
+def test_chained_cycle_survives_two_migrations():
+    """checkpoint -> restart -> checkpoint again -> restart, back on the
+    source cell: state and conservation oracles hold across both hops."""
+    res = differential_cycle("gromacs", SRC, DST, seed=4, k=1, chain=True)
+    assert res.ok, res.divergences
+
+
+def test_chain_second_cut_is_seeded_and_distinct():
+    """The hop-1 fuzz draw is reproducible and independent of hop 0."""
+    f0 = checkpoint_fraction("gromacs", SRC, seed=4, k=1)
+    f1 = checkpoint_fraction("gromacs", SRC, seed=4, k=1, hop=1)
+    assert f0 != f1
+    assert f1 == checkpoint_fraction("gromacs", SRC, seed=4, k=1, hop=1)
+    lo, hi = CKPT_FRACTION
+    assert lo <= f1 <= hi
+
+
+def test_ckpts_per_source_beyond_one_runs_chains():
+    """k > 0 sweep cycles are the two-hop chains; the sweep stays green."""
+    report = run_conformance(tier="quick", seed=2, apps=("gromacs",),
+                             n_sources=1, ckpts_per_source=2, jobs=1)
+    assert report.ok, report.summary()
+    ks = {r.k for r in report.results}
+    assert ks == {0, 1}
+
+
+def test_lulesh_joins_the_mix_at_cube_rank_counts():
+    """The rank-constrained app rides the matrix at 8 ranks (2^3), never
+    collapsing to the useless single-rank cube."""
+    from repro.conformance.harness import DEFAULT_APPS, effective_ranks
+
+    assert "lulesh" in DEFAULT_APPS
+    assert effective_ranks("lulesh", 4) == 8
+    assert effective_ranks("gromacs", 4) == 4
+    res = differential_cycle("lulesh", SRC, DST, seed=1)
+    assert res.ok, res.divergences

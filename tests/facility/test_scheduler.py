@@ -1,0 +1,111 @@
+"""Scheduler policies: admission order, backfill holes, preemption plans."""
+
+from repro.facility.scheduler import (
+    BackfillScheduler,
+    FifoScheduler,
+    make_scheduler,
+    queue_order,
+)
+from repro.facility.spec import JobRecord, JobSpec
+
+
+def rec(job_id, n_nodes, priority=0, submit=0.0):
+    return JobRecord(spec=JobSpec(
+        job_id=job_id, app="gromacs", n_ranks=max(n_nodes, 2),
+        n_nodes=n_nodes, n_steps=2, priority=priority, submit_time=submit,
+    ))
+
+
+def ids(records):
+    return [r.spec.job_id for r in records]
+
+
+class TestQueueOrder:
+    def test_priority_dominates_then_submission_order(self):
+        q = [rec(0, 1, priority=0, submit=0.0),
+             rec(1, 1, priority=1, submit=5.0),
+             rec(2, 1, priority=0, submit=1.0)]
+        assert ids(queue_order(q)) == [1, 0, 2]
+
+    def test_job_id_breaks_ties(self):
+        q = [rec(3, 1), rec(1, 1), rec(2, 1)]
+        assert ids(queue_order(q)) == [1, 2, 3]
+
+
+class TestFifo:
+    def test_admits_in_order_until_full(self):
+        q = [rec(0, 2), rec(1, 2), rec(2, 1)]
+        assert ids(FifoScheduler().select(q, free_nodes=4)) == [0, 1]
+
+    def test_head_of_line_blocks(self):
+        """A too-wide head stops everything behind it, even jobs that fit."""
+        q = [rec(0, 8), rec(1, 1), rec(2, 1)]
+        assert FifoScheduler().select(q, free_nodes=4) == []
+
+
+class TestBackfill:
+    def test_skips_blocked_head_and_fills_holes(self):
+        q = [rec(0, 8), rec(1, 3), rec(2, 2), rec(3, 1)]
+        # head needs 8 > 4 free; backfill takes 3 + 1
+        assert ids(BackfillScheduler().select(q, free_nodes=4)) == [1, 3]
+
+    def test_same_result_as_fifo_when_everything_fits(self):
+        q = [rec(0, 1), rec(1, 2), rec(2, 1)]
+        assert (ids(BackfillScheduler().select(q, 8))
+                == ids(FifoScheduler().select(q, 8)))
+
+
+class TestPreemptionPlan:
+    def plan(self, policy, pending, running, free=0, incoming=0):
+        return policy.preemption_plan(pending, running, free, incoming)
+
+    def test_picks_cheapest_lower_priority_victims(self):
+        policy = FifoScheduler()
+        head = rec(9, 3, priority=1)
+        old = rec(0, 2, priority=0)
+        young = rec(1, 2, priority=0)
+        plan = self.plan(policy, [head], [(old, 2, 1.0), (young, 2, 5.0)])
+        assert plan is not None
+        beneficiary, victims = plan
+        assert beneficiary is head
+        # most recently started first (least sunk work), then the older one
+        assert ids(victims) == [1, 0]
+
+    def test_no_plan_when_head_fits_or_capacity_incoming(self):
+        policy = BackfillScheduler()
+        head = rec(9, 2, priority=1)
+        victim = rec(0, 2, priority=0)
+        assert self.plan(policy, [head], [(victim, 2, 0.0)], free=2) is None
+        assert self.plan(policy, [head], [(victim, 2, 0.0)], incoming=2) is None
+
+    def test_never_preempts_equal_or_higher_priority(self):
+        policy = FifoScheduler()
+        head = rec(9, 2, priority=1)
+        peer = rec(0, 2, priority=1)
+        boss = rec(1, 2, priority=2)
+        assert self.plan(policy, [head], [(peer, 2, 0.0), (boss, 2, 0.0)]) is None
+
+    def test_gives_up_when_eviction_cannot_free_enough(self):
+        policy = FifoScheduler()
+        head = rec(9, 6, priority=1)
+        victim = rec(0, 2, priority=0)
+        assert self.plan(policy, [head], [(victim, 2, 0.0)], free=1) is None
+
+    def test_highest_priority_pending_is_the_beneficiary(self):
+        policy = FifoScheduler()
+        lo = rec(5, 1, priority=0, submit=0.0)
+        hi = rec(9, 2, priority=1, submit=9.0)
+        victim = rec(0, 2, priority=0)
+        plan = self.plan(policy, [lo, hi], [(victim, 2, 0.0)])
+        assert plan is not None and plan[0] is hi
+
+
+def test_make_scheduler_names():
+    assert make_scheduler("fifo").name == "fifo"
+    assert make_scheduler("backfill").name == "backfill"
+    try:
+        make_scheduler("srtf")
+    except ValueError as e:
+        assert "srtf" in str(e)
+    else:
+        raise AssertionError("unknown policy must raise")

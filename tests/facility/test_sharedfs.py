@@ -1,0 +1,83 @@
+"""StorageArbiter: bandwidth division across drain windows + traffic ledger."""
+
+from repro.facility.sharedfs import StorageArbiter
+from repro.hardware.storage import LustreModel
+from repro.simtime import Engine
+
+GB = 10**9
+
+
+def make_storage(engine):
+    """A model where the aggregate ceiling always binds (exact arithmetic)."""
+    storage = LustreModel(
+        per_node_bandwidth=1.0 * GB,
+        aggregate_bandwidth=1.0 * GB,
+        per_file_overhead=0.0,
+    )
+    storage.arbiter = StorageArbiter(engine)
+    return storage
+
+
+def test_single_burst_unchanged_by_arbiter():
+    """One tenant draining alone sees the full backend bandwidth."""
+    engine = Engine()
+    shared = make_storage(engine)
+    solo = LustreModel(per_node_bandwidth=1.0 * GB,
+                       aggregate_bandwidth=1.0 * GB, per_file_overhead=0.0)
+    sizes, nodes = [GB, GB], [0, 1]
+    assert shared.burst(sizes, nodes).max_time == solo.burst(sizes, nodes).max_time
+    assert shared.arbiter.peak_streams == 1
+
+
+def test_overlapping_bursts_halve_backend_bandwidth():
+    engine = Engine()
+    storage = make_storage(engine)
+    sizes, nodes = [GB, GB], [0, 1]
+    # 2 GB over a 1 GB/s ceiling, split evenly: 2 s
+    first = storage.burst(sizes, nodes)
+    assert first.max_time == 2.0
+    # second burst admitted while the first window [0, 2) is open -> the
+    # backend is halved, the same burst takes twice as long
+    second = storage.burst([GB, GB], [2, 3])
+    assert second.max_time == 4.0
+    assert storage.arbiter.peak_streams == 2
+    assert storage.arbiter.active_streams == 2
+
+
+def test_windows_expire_with_virtual_time():
+    engine = Engine()
+    storage = make_storage(engine)
+    storage.burst([GB, GB], [0, 1])  # window [0, 2)
+    engine.call_at(10.0, lambda: None, label="advance")
+    engine.run()
+    assert storage.arbiter.active_streams == 0
+    # a fresh burst after the storm is back to full bandwidth
+    assert storage.burst([GB, GB], [0, 1]).max_time == 2.0
+    assert storage.arbiter.peak_streams == 1  # the bursts never overlapped
+
+
+def test_traffic_ledger_separates_reads_and_writes():
+    engine = Engine()
+    storage = make_storage(engine)
+    storage.burst([GB], [0])
+    storage.burst([2 * GB], [1], read=True)
+    arb = storage.arbiter
+    assert arb.bytes_written == GB
+    assert arb.bytes_read == 2 * GB
+    assert arb.total_bytes == 3 * GB
+    assert arb.write_bursts == 1 and arb.read_bursts == 1
+    m = engine.metrics
+    assert m.counter("facility.storage.write_bytes").value == GB
+    assert m.counter("facility.storage.read_bytes").value == 2 * GB
+
+
+def test_per_node_injection_bandwidth_unaffected():
+    """Tenants never share a node: contention only shrinks the aggregate."""
+    engine = Engine()
+    storage = LustreModel(per_node_bandwidth=1.0 * GB,
+                          aggregate_bandwidth=100.0 * GB,
+                          per_file_overhead=0.0)
+    storage.arbiter = StorageArbiter(engine)
+    storage.burst([GB], [0])  # opens a window
+    # aggregate/2 = 50 GB/s still far above the 1 GB/s NIC: same 1 s
+    assert storage.burst([GB], [1]).max_time == 1.0

@@ -1,0 +1,66 @@
+"""Workload generators: determinism, app rank constraints, mix shapes."""
+
+import pytest
+
+from repro.apps.base import get_app
+from repro.facility.workload import MIXES, generate_jobs
+
+
+def test_same_triple_same_specs():
+    """(mix, n_jobs, seed) fully determines the workload."""
+    for mix in MIXES:
+        a = generate_jobs(mix, 25, seed=4)
+        b = generate_jobs(mix, 25, seed=4)
+        assert a == b
+
+
+def test_seed_changes_workload():
+    assert generate_jobs("mixed", 25, seed=1) != generate_jobs("mixed", 25, seed=2)
+
+
+def test_tiny_mix_is_a_queue_flush():
+    specs = generate_jobs("tiny", 30, seed=0)
+    assert all(s.submit_time == 0.0 for s in specs)
+    assert all(s.n_nodes == 1 for s in specs)
+    assert all(s.priority == 0 for s in specs)
+
+
+def test_mixed_arrivals_are_monotone():
+    specs = generate_jobs("mixed", 40, seed=3)
+    submits = [s.submit_time for s in specs]
+    assert submits == sorted(submits)
+    assert submits[-1] > 0.0
+
+
+def test_priority_mix_contains_high_priority_wide_jobs():
+    specs = generate_jobs("priority", 40, seed=7, max_nodes=4)
+    urgent = [s for s in specs if s.priority > 0]
+    assert urgent, "priority mix must produce high-priority jobs"
+    assert all(s.n_nodes == 4 for s in urgent)
+
+
+def test_lulesh_jobs_respect_cubic_valid_ranks():
+    """The non-power-of-two app gets cube rank counts covering its nodes."""
+    specs = [s for mix in MIXES
+             for s in generate_jobs(mix, 60, seed=9) if s.app == "lulesh"]
+    assert specs, "default app set must include lulesh"
+    lulesh = get_app("lulesh")
+    for s in specs:
+        assert s.n_ranks == lulesh.valid_ranks(s.n_ranks)  # a fixed point
+        side = round(s.n_ranks ** (1 / 3))
+        assert side**3 == s.n_ranks
+        assert s.n_ranks >= s.n_nodes
+
+
+def test_mem_cap_is_applied():
+    capped = generate_jobs("tiny", 10, seed=0, mem_cap_mb=8)
+    assert all(s.mem_bytes == 8 * (1 << 20) for s in capped)
+    uncapped = generate_jobs("tiny", 10, seed=0, mem_cap_mb=None)
+    assert all(s.mem_bytes is None for s in uncapped)
+
+
+def test_bad_arguments_raise():
+    with pytest.raises(ValueError):
+        generate_jobs("nope", 5)
+    with pytest.raises(ValueError):
+        generate_jobs("tiny", 0)

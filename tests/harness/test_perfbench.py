@@ -26,6 +26,8 @@ def _doc(**overrides):
         "sweep_speedup_j2": {"value": 0.85, "unit": "x",
                              "higher_is_better": True,
                              "informational": True},
+        "facility_makespan_s": {"value": 0.5, "unit": "s",
+                                "higher_is_better": False},
     }
     for key, m in overrides.items():
         metrics[key] = {**metrics[key], **m}

@@ -131,3 +131,26 @@ def test_trace_app_with_checkpoint_and_metrics(tmp_path):
     assert "ckpt" in names and "ckpt:drain" in names
     assert "metrics: engine-1" in text
     assert "mpi.coll.ops" in text
+
+
+def test_facility_run_and_json(tmp_path):
+    report_path = tmp_path / "facility.json"
+    code, text = run_cli("facility", "--mix", "tiny", "--n-jobs", "10",
+                         "--nodes", "4", "--seed", "3",
+                         "--show-jobs", "3", "--json", str(report_path))
+    assert code == 0
+    assert "facility summary" in text
+    assert "node-hours lost" in text
+    assert "job0000" in text  # the per-job table was printed
+    doc = json.loads(report_path.read_text())
+    assert doc["completed_jobs"] == 10
+    assert doc["policy"] == "fifo"
+
+
+def test_facility_sweep_table():
+    code, text = run_cli("facility", "--sweep", "--n-jobs", "4",
+                         "--nodes", "4", "--jobs", "1")
+    assert code == 0
+    assert "facility sweep" in text
+    for token in ("backfill", "fifo", "tiny", "mixed", "priority"):
+        assert token in text
