@@ -52,6 +52,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="run without MANA (baseline)")
     run.add_argument("--checkpoint-at", type=float, default=None,
                      metavar="T", help="cut a checkpoint at virtual time T")
+    run.add_argument("--protocol", default="alg2",
+                     choices=["alg2", "topo"],
+                     help="checkpoint protocol engine (docs/protocols.md)")
     run.add_argument("--out", default=None, metavar="DIR",
                      help="directory to save the checkpoint to")
 
@@ -62,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="application name (the program text)")
     rst.add_argument("--steps", type=int, default=None)
     rst.add_argument("--ranks-per-node", type=int, default=None)
+    rst.add_argument("--protocol", default="alg2",
+                     choices=["alg2", "topo"],
+                     help="protocol for any later checkpoints of the "
+                          "restarted job")
 
     ins = sub.add_parser("inspect", help="describe a saved checkpoint")
     ins.add_argument("--ckpt", required=True, metavar="DIR")
@@ -69,6 +76,10 @@ def _build_parser() -> argparse.ArgumentParser:
     ver = sub.add_parser("verify", help="model-check the two-phase protocol")
     ver.add_argument("--ranks", type=int, default=3)
     ver.add_argument("--iters", type=int, default=2)
+    ver.add_argument("--model", default="alg2",
+                     choices=["alg2", "topo"],
+                     help="which protocol's state space to explore "
+                          "(alg2: two-phase; topo: topological-sort)")
     ver.add_argument("--naive", action="store_true",
                      help="check the strawman protocol instead (finds the "
                           "violation)")
@@ -130,6 +141,11 @@ def _build_parser() -> argparse.ArgumentParser:
     conf.add_argument("--only", default=None, metavar="SRC->DST",
                       help="run a single src-label->dst-label pair (the "
                            "syntax divergence repro lines use)")
+    conf.add_argument("--protocol", default="alg2",
+                      choices=["alg2", "topo", "both"],
+                      help="checkpoint protocol axis; 'both' runs every "
+                           "cycle under each engine and cross-checks the "
+                           "restart fingerprints between them")
     conf.add_argument("--report", default=None, metavar="FILE",
                       help="also write the full cycle-by-cycle report as "
                            "JSON (the scheduled-CI artifact)")
@@ -154,6 +170,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fac.add_argument("--seed", type=int, default=0,
                      help="workload + straggler seed (runs are "
                           "deterministic per seed)")
+    fac.add_argument("--protocol", default="alg2",
+                     choices=["alg2", "topo"],
+                     help="checkpoint protocol for induced checkpoints")
     fac.add_argument("--ckpt-interval", type=float, default=None,
                      metavar="T", help="periodic checkpoint interval in "
                                        "virtual seconds (default: off)")
@@ -257,7 +276,8 @@ def cmd_run(args, out) -> int:
               file=out)
         return 0
 
-    job = _launch_mana_app(cluster, spec, cfg, n_ranks, rpn)
+    job = _launch_mana_app(cluster, spec, cfg, n_ranks, rpn,
+                           protocol=args.protocol)
     if args.checkpoint_at is not None:
         ckpt, report = job.checkpoint_at(args.checkpoint_at)
         print(f"checkpoint at t={args.checkpoint_at}: "
@@ -285,7 +305,8 @@ def cmd_restart(args, out) -> int:
     ckpt = load_checkpoint(args.ckpt)
     cluster = _make_cluster(args)
     job = restart(ckpt, cluster, factory, mpi=args.mpi,
-                  ranks_per_node=args.ranks_per_node)
+                  ranks_per_node=args.ranks_per_node,
+                  protocol=args.protocol)
     job.run_to_completion()
     rep = job.restart_report
     print(f"restarted {ckpt.n_ranks} ranks from {args.ckpt} on "
@@ -308,11 +329,20 @@ def cmd_inspect(args, out) -> int:
 
 def cmd_verify(args, out) -> int:
     """``repro verify``: model-check the protocol."""
-    from repro.modelcheck import ModelChecker, NaiveModel, TwoPhaseModel
-
-    model = (NaiveModel if args.naive else TwoPhaseModel)(
-        n_ranks=args.ranks, n_iters=args.iters
+    from repro.modelcheck import (
+        ModelChecker,
+        NaiveModel,
+        TopoSortModel,
+        TwoPhaseModel,
     )
+
+    if args.naive:
+        cls = NaiveModel
+    elif args.model == "topo":
+        cls = TopoSortModel
+    else:
+        cls = TwoPhaseModel
+    model = cls(n_ranks=args.ranks, n_iters=args.iters)
     result = ModelChecker(model).run(check_liveness=not args.naive)
     print(result, file=out)
     if not result.ok:
@@ -400,7 +430,7 @@ def cmd_conformance(args, out) -> int:
         tier=args.tier, seed=args.seed, apps=apps,
         n_ranks=args.ranks, n_steps=args.steps,
         n_sources=args.sources, ckpts_per_source=args.ckpts_per_source,
-        jobs=args.jobs, only=args.only,
+        jobs=args.jobs, only=args.only, protocol=args.protocol,
     )
     print(report.summary(), file=out)
     if args.report:
@@ -434,7 +464,8 @@ def cmd_facility(args, out) -> int:
         interconnect=args.net, default_mpi=args.mpi or "craympich",
     )
     fac = Facility(cluster, scheduler=args.policy, seed=args.seed,
-                   checkpoint_interval=args.ckpt_interval)
+                   checkpoint_interval=args.ckpt_interval,
+                   protocol=args.protocol)
     fac.submit_all(generate_jobs(args.mix, args.n_jobs, seed=args.seed))
     rep = fac.run()
     print(rep.summary(), file=out)

@@ -25,7 +25,7 @@ over a process pool with results identical to ``jobs=1``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence
 
 from repro.conformance.matrix import (
@@ -138,14 +138,18 @@ def golden_run(app: str, cell: ConfigCell = REF_CELL, n_ranks: int = 4,
 
 
 def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
-                       seed: int, k: int):
+                       seed: int, k: int, protocol: str = "alg2"):
     """(checkpoint set, source-engine totals, ckpt time), memoized.
 
     The checkpoint set is only ever *read* by restarts (the property fig9's
     triple restart already relies on), so one source simulation feeds every
-    destination cell of the matrix within a process.
+    destination cell of the matrix within a process.  The fuzzed cut time
+    comes from a protocol-independent rng stream, so the alg2 and topo
+    variants of one cycle checkpoint at the same virtual instant — the
+    ideal differential.
     """
-    key = ("conformance-src", app, src.as_tuple(), n_ranks, n_steps, seed, k)
+    key = ("conformance-src", app, src.as_tuple(), n_ranks, n_steps, seed, k,
+           protocol)
 
     def compute():
         from repro.harness.experiments import _launch_mana_app
@@ -156,7 +160,7 @@ def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
         spec, cfg = _app_pieces(app, n_steps)
         cluster = cluster_for(src, n_eff)
         job = _launch_mana_app(cluster, spec, cfg, n_eff,
-                               src.ranks_per_node)
+                               src.ranks_per_node, protocol=protocol)
         ckpt, _report = job.checkpoint_at(t_ckpt)
         return ckpt, conservation_totals(job.engine.metrics), t_ckpt
 
@@ -176,6 +180,10 @@ class CycleResult:
     k: int
     ckpt_time: float
     divergences: tuple   # of Divergence
+    #: which checkpoint protocol drove the cycle
+    protocol: str = "alg2"
+    #: the restarted run's final-state fingerprint (cross-protocol check)
+    fingerprint: str = ""
 
     @property
     def ok(self) -> bool:
@@ -192,13 +200,15 @@ class CycleResult:
     def repro(self, tier: str = "quick") -> str:
         """A shell one-liner that re-runs exactly this cycle."""
         return (f"python -m repro conformance --{tier} --seed {self.seed} "
-                f"--apps {self.app} --only '{self.pair}'")
+                f"--apps {self.app} --protocol {self.protocol} "
+                f"--only '{self.pair}'")
 
 
 def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
                        n_ranks: int = 4, n_steps: int = 4,
                        seed: int = 0, k: int = 0,
-                       chain: bool = False) -> CycleResult:
+                       chain: bool = False,
+                       protocol: str = "alg2") -> CycleResult:
     """Run one golden/checkpoint/restart/oracle cycle and report it.
 
     With ``chain=True`` the cycle becomes a two-hop round trip: checkpoint
@@ -206,6 +216,9 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
     restarted job, restart that image back on ``src``, and only then apply
     the oracles — the state must survive two migrations and the traffic
     totals of all three segments must still conserve against the golden.
+
+    ``protocol`` selects the checkpoint protocol engine for every cut in
+    the cycle; the golden runs are checkpoint-free and therefore shared.
     """
     from repro.mana.job import restart
 
@@ -224,13 +237,13 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
         ))
 
     ckpt, src_totals, t_ckpt = _source_checkpoint(
-        app, src, n_ranks, n_steps, seed, k
+        app, src, n_ranks, n_steps, seed, k, protocol=protocol
     )
     n_eff = effective_ranks(app, n_ranks)
     spec, cfg = _app_pieces(app, n_steps)
     job2 = restart(
         ckpt, cluster_for(dst, n_eff), spec.build(cfg),
-        mpi=dst.mpi, ranks_per_node=dst.ranks_per_node,
+        mpi=dst.mpi, ranks_per_node=dst.ranks_per_node, protocol=protocol,
     )
 
     mid_totals = None
@@ -251,12 +264,14 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
             final_job = restart(
                 ckpt2, cluster_for(src, n_eff), spec.build(cfg),
                 mpi=src.mpi, ranks_per_node=src.ranks_per_node,
+                protocol=protocol,
             )
         # else: the dst cell outran the fuzzed window — the cycle
         # degenerates to a single hop, which is still a full oracle check
 
     final_job.run_to_completion()
 
+    final_fp = state_fingerprint(final_job.states)
     state_div = check_golden_state(ref.fingerprint, final_job.states)
     if state_div is not None:
         divergences.append(state_div)
@@ -268,11 +283,13 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
     return CycleResult(
         app=app, src=src.as_tuple(), dst=dst.as_tuple(),
         seed=seed, k=k, ckpt_time=t_ckpt, divergences=tuple(divergences),
+        protocol=protocol, fingerprint=final_fp,
     )
 
 
 def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
-                n_steps: int, seed: int, k: int) -> CycleResult:
+                n_steps: int, seed: int, k: int,
+                protocol: str = "alg2") -> CycleResult:
     """SweepCell entry point: primitives in, picklable CycleResult out.
 
     Cycles beyond the first per source (``k > 0``) run as two-hop chains —
@@ -282,6 +299,7 @@ def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
     return differential_cycle(
         app, ConfigCell.from_tuple(src_t), ConfigCell.from_tuple(dst_t),
         n_ranks=n_ranks, n_steps=n_steps, seed=seed, k=k, chain=k > 0,
+        protocol=protocol,
     )
 
 
@@ -297,6 +315,8 @@ class ConformanceReport:
     n_steps: int
     apps: tuple
     results: list
+    #: "alg2" | "topo" | "both" — the sweep's protocol axis
+    protocol: str = "alg2"
 
     @property
     def divergent(self) -> list[CycleResult]:
@@ -312,7 +332,8 @@ class ConformanceReport:
         """Human-readable verdict, with a repro recipe per divergence."""
         cells = {r.dst for r in self.results} | {r.src for r in self.results}
         lines = [
-            f"conformance[{self.tier}] seed={self.seed}: "
+            f"conformance[{self.tier}] seed={self.seed} "
+            f"protocol={self.protocol}: "
             f"{len(self.results)} cycles over {len(cells)} cells "
             f"({len(self.apps)} apps, {self.n_ranks} ranks, "
             f"{self.n_steps} steps) — "
@@ -320,7 +341,8 @@ class ConformanceReport:
         ]
         for r in self.divergent:
             lines.append(
-                f"DIVERGENT: {r.app} {r.pair} k{r.k} ckpt@{r.ckpt_time:.4f}s"
+                f"DIVERGENT: {r.app} {r.pair} k{r.k} [{r.protocol}] "
+                f"ckpt@{r.ckpt_time:.4f}s"
             )
             for d in r.divergences:
                 lines.append(f"  {d}")
@@ -335,6 +357,7 @@ class ConformanceReport:
             "n_ranks": self.n_ranks,
             "n_steps": self.n_steps,
             "apps": list(self.apps),
+            "protocol": self.protocol,
             "ok": self.ok,
             "cycles": len(self.results),
             "cycle_results": [
@@ -342,6 +365,7 @@ class ConformanceReport:
                     "app": r.app,
                     "pair": r.pair,
                     "k": r.k,
+                    "protocol": r.protocol,
                     "ckpt_time": r.ckpt_time,
                     "ok": r.ok,
                     "divergences": [str(d) for d in r.divergences],
@@ -350,6 +374,37 @@ class ConformanceReport:
                 for r in self.results
             ],
         }
+
+
+def _cross_protocol_check(results: list) -> list:
+    """The "both" axis' extra oracle: pair each cycle's alg2 and topo runs
+    and demand bit-identical final fingerprints *between* the protocols.
+
+    Both variants of a cycle cut at the same fuzzed virtual time (the rng
+    stream that draws it is protocol-independent), so their restarted
+    states must agree bit for bit — a divergence here catches the case
+    where both protocols drift from the golden in the same way and the
+    per-protocol oracle alone would stay green.
+    """
+    by_cycle: dict[tuple, dict[str, CycleResult]] = {}
+    for r in results:
+        by_cycle.setdefault((r.app, r.src, r.dst, r.seed, r.k), {})[
+            r.protocol] = r
+    out = []
+    for r in results:
+        peers = by_cycle[(r.app, r.src, r.dst, r.seed, r.k)]
+        other = peers.get("alg2" if r.protocol == "topo" else "topo")
+        if (other is not None and r.fingerprint and other.fingerprint
+                and r.fingerprint != other.fingerprint):
+            div = Divergence(
+                oracle="cross_protocol",
+                expected=other.fingerprint, actual=r.fingerprint,
+                detail=(f"{other.protocol} vs {r.protocol} restart "
+                        "fingerprints differ"),
+            )
+            r = replace(r, divergences=r.divergences + (div,))
+        out.append(r)
+    return out
 
 
 def run_conformance(
@@ -362,27 +417,47 @@ def run_conformance(
     ckpts_per_source: int = 1,
     jobs: Optional[int] = 1,
     only: Optional[str] = None,
+    protocol: str = "alg2",
 ) -> ConformanceReport:
     """Sweep the tier's matrix: every app × source cell × *other* cell.
 
     ``only`` restricts the sweep to cycles whose ``src-label->dst-label``
     pair matches (the syntax :meth:`CycleResult.repro` emits), so a
     divergence found in CI can be replayed as a single cycle locally.
+
+    ``protocol`` selects the checkpoint protocol: ``"alg2"`` or ``"topo"``
+    run the matrix under one engine; ``"both"`` runs every cycle under
+    each engine at the same fuzzed cut time and additionally cross-checks
+    the two restart fingerprints against each other (the protocol
+    differential — see docs/protocols.md).
     """
+    from repro.mana.protocol import PROTOCOLS
+
+    if protocol == "both":
+        protocols = PROTOCOLS
+    elif protocol in PROTOCOLS:
+        protocols = (protocol,)
+    else:
+        raise ValueError(
+            f"unknown protocol {protocol!r}: expected one of "
+            f"{PROTOCOLS + ('both',)}"
+        )
     apps = tuple(apps or DEFAULT_APPS)
     dsts = matrix_for(tier)
     srcs = source_cells(dsts, n_sources)
     cells = [
         SweepCell(
             _cycle_cell,
-            (app, s.as_tuple(), d.as_tuple(), n_ranks, n_steps, seed, k),
-            label=f"conf:{app}:{s.label}->{d.label}/k{k}",
+            (app, s.as_tuple(), d.as_tuple(), n_ranks, n_steps, seed, k,
+             proto),
+            label=f"conf:{app}:{s.label}->{d.label}/k{k}/{proto}",
         )
         for app in apps
         for s in srcs
         for d in dsts
         if d != s
         for k in range(ckpts_per_source)
+        for proto in protocols
         if only is None or f"{s.label}->{d.label}" == only
     ]
     if not cells:
@@ -390,8 +465,10 @@ def run_conformance(
             f"conformance sweep selected no cycles (tier={tier!r}, "
             f"only={only!r})"
         )
-    results = run_cells(cells, jobs=jobs)
+    results = list(run_cells(cells, jobs=jobs))
+    if len(protocols) > 1:
+        results = _cross_protocol_check(results)
     return ConformanceReport(
         tier=tier, seed=seed, n_ranks=n_ranks, n_steps=n_steps,
-        apps=apps, results=list(results),
+        apps=apps, results=results, protocol=protocol,
     )

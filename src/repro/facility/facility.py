@@ -92,6 +92,7 @@ class Facility:
         fault_horizon: float = inf,
         control: Optional[ControlPlaneModel] = None,
         stragglers: bool = True,
+        protocol: str = "alg2",
     ) -> None:
         self.engine = engine if engine is not None else Engine()
         self.cluster = cluster
@@ -103,6 +104,9 @@ class Facility:
         self.checkpoint_interval = checkpoint_interval
         self.control = control
         self.stragglers = stragglers
+        #: checkpoint protocol engine for induced (preemption/interval)
+        #: checkpoints of every tenant (docs/protocols.md)
+        self.protocol = protocol
         #: shared-backend contention + the storage traffic ledger
         self.arbiter = StorageArbiter(self.engine)
         cluster.storage.arbiter = self.arbiter
@@ -277,12 +281,14 @@ class Facility:
                 slice_cluster, factory, spec.n_ranks, ranks_per_node=None,
                 mpi=spec.mpi, engine=self.engine, app_mem_bytes=app_data,
                 seed=seed, control=self.control, stragglers=self.stragglers,
+                protocol=self.protocol,
             )
         else:
             job = restart(
                 rec.ckpt, slice_cluster, factory, ranks_per_node=None,
                 mpi=spec.mpi, engine=self.engine, seed=seed,
                 control=self.control, stragglers=self.stragglers,
+                protocol=self.protocol,
             )
             rec.restarts += 1
         tenant = _Tenant(record=rec, job=job, nodes=tuple(node_ids),

@@ -29,6 +29,12 @@ Metrics
 * ``facility_makespan_s`` — wall seconds to drain a whole multi-tenant
   facility workload (FIFO, tiny mix) through one shared engine: the cost
   of the scheduler + many-jobs-one-engine multiplexing path.
+* ``ckpt_quiesce_wait_s`` — **simulated** seconds from checkpoint request
+  to the start of draining under the topological-sort protocol on a
+  collective-heavy HPCG slice, with the Algorithm-2 wait on the same cut
+  alongside (``alg2_s``/``topo_s`` extras).  The one simulated-time metric
+  in this suite: it pins protocol v2's latency claim (one control round,
+  not 2+extra) so the win is measured, not asserted.
 
 All metrics carry ``higher_is_better`` so a generic threshold check can
 compare any of them; see :func:`compare_bench`.
@@ -53,6 +59,7 @@ CORE_METRICS = (
     "fig2_cell_s",
     "sweep_speedup_j2",
     "facility_makespan_s",
+    "ckpt_quiesce_wait_s",
 )
 
 
@@ -199,6 +206,31 @@ def bench_facility_makespan(n_jobs: int = 40) -> float:
     return time.perf_counter() - t0
 
 
+def bench_ckpt_quiesce_wait(n_steps: int = 3) -> dict[str, float]:
+    """Simulated quiesce wait of one HPCG checkpoint, per protocol.
+
+    Runs the identical 4-rank HPCG slice twice — once per protocol engine —
+    and cuts a checkpoint at the same virtual instant.  Returns
+    ``{"alg2_s": ..., "topo_s": ...}`` (CheckpointReport.quiesce_wait);
+    the differential tests and CI assert ``topo_s <= alg2_s``.
+    """
+    from repro.apps import get_app
+    from repro.hardware.cluster import make_cluster
+    from repro.harness.experiments import _launch_mana_app
+
+    spec = get_app("hpcg")
+    cfg = spec.default_config.scaled(n_steps=n_steps)
+    waits = {}
+    for protocol in ("alg2", "topo"):
+        cluster = make_cluster(f"perf-qw-{protocol}", 2,
+                               interconnect="aries", default_mpi="craympich")
+        job = _launch_mana_app(cluster, spec, cfg, n_ranks=4,
+                               ranks_per_node=2, protocol=protocol)
+        _ckpt, report = job.checkpoint_at(0.05)
+        waits[f"{protocol}_s"] = report.quiesce_wait
+    return waits
+
+
 # ------------------------------------------------------------------ suite
 
 def _metric(value: float, unit: str, higher_is_better: bool,
@@ -249,6 +281,10 @@ def run_suite(quick: bool = False, jobs: Optional[int] = None,
     facility = bench_facility_makespan(facility_jobs)
     say(f"  {facility:.3f} s ({facility_jobs} jobs)")
 
+    say("checkpoint quiesce wait (alg2 vs topo)...")
+    qw = bench_ckpt_quiesce_wait(2 if quick else 3)
+    say(f"  alg2 {qw['alg2_s'] * 1e3:.2f} ms, topo {qw['topo_s'] * 1e3:.2f} ms")
+
     return {
         "schema": BENCH_SCHEMA,
         "quick": quick,
@@ -271,6 +307,12 @@ def run_suite(quick: bool = False, jobs: Optional[int] = None,
             ),
             "facility_makespan_s": _metric(
                 facility, "s", False, n_jobs=facility_jobs,
+            ),
+            "ckpt_quiesce_wait_s": _metric(
+                qw["topo_s"], "s", False,
+                alg2_s=qw["alg2_s"], topo_s=qw["topo_s"],
+                # simulated time, not wall time: deterministic per seed
+                simulated=True,
             ),
         },
     }

@@ -1,4 +1,4 @@
-"""The checkpoint coordinator (Algorithm 2, coordinator side).
+"""The checkpoint coordinator (messaging + abort; protocol via engines).
 
 Modeled after the DMTCP coordinator the paper extends (§2.7): a stateless
 central daemon talking TCP to each rank's helper thread.  The control plane
@@ -7,12 +7,12 @@ observation that "the communication overhead associated with the TCP layer
 increases with the number of ranks, especially due to metadata in the case
 of small messages" (§3.4, Fig. 8) falls out of exactly this term.
 
-Checkpoint pipeline after the Algorithm-2 rounds converge:
-
-``do-ckpt`` → ranks quiesce and report send bookmarks → coordinator
-aggregates the expected receive totals → ``drain`` → ranks pull in-flight
-messages into upper-half buffers → ``write`` (durations from the Lustre
-burst model, stragglers included) → ``resume``.
+The protocol state machine itself is pluggable (``protocol=``):
+``"alg2"`` is the paper's Algorithm 2 with the DMTCP-style pipeline
+(``do-ckpt`` → bookmarks → ``drain`` → ``write`` → ``resume``);
+``"topo"`` is the topological-sort protocol v2 (single intent round,
+per-wave writes ordered by the in-flight dependency DAG).  See
+:mod:`repro.mana.protocol_engine` and docs/protocols.md.
 """
 
 from __future__ import annotations
@@ -24,7 +24,8 @@ import numpy as np
 
 from repro.hardware.storage import LustreModel
 from repro.mana.checkpoint_image import CheckpointSet
-from repro.mana.protocol import CkptMsg, RankCkptState
+from repro.mana.protocol import CkptMsg
+from repro.mana.protocol_engine import make_protocol
 from repro.obs.events import Category
 from repro.simtime import Completion, Engine
 
@@ -74,6 +75,15 @@ class CheckpointReport:
     comm_overhead: float
     rounds: int
     ckpt_set: Optional[CheckpointSet] = None
+    #: time from the checkpoint request to the start of draining — the
+    #: protocol's quiesce wait (alg2: intent rounds + bookmark collection;
+    #: topo: one control round).  This is the ``ckpt_quiesce_wait_s``
+    #: perfbench metric.
+    quiesce_wait: float = 0.0
+    #: which protocol engine produced this checkpoint
+    protocol: str = "alg2"
+    #: topo only: ranks that hit the bounded-local-drain cycle fallback
+    fallback_ranks: tuple = ()
 
     @property
     def image_sizes(self) -> list[int]:
@@ -87,7 +97,7 @@ class CheckpointReport:
 
 
 class Coordinator:
-    """Drives Algorithm 2 and the checkpoint pipeline over all ranks."""
+    """Drives the checkpoint protocol and pipeline over all ranks."""
 
     def __init__(
         self,
@@ -97,6 +107,7 @@ class Coordinator:
         node_of: list[int],
         rng: Optional[np.random.Generator] = None,
         control: Optional[ControlPlaneModel] = None,
+        protocol: str = "alg2",
     ) -> None:
         self.engine = engine
         self.runtimes = runtimes
@@ -104,6 +115,8 @@ class Coordinator:
         self.node_of = list(node_of)
         self.rng = rng
         self.control = control if control is not None else ControlPlaneModel()
+        self.protocol = protocol
+        self.proto = make_protocol(protocol, self)
         for rt in runtimes:
             rt.reply_fn = self._reply_from_rank
         self._phase: Optional[str] = None
@@ -126,8 +139,9 @@ class Coordinator:
     # ------------------------------------------------------------ public
 
     def request_checkpoint(self) -> Completion:
-        """Begin Algorithm 2; resolves with a :class:`CheckpointReport`
-        (or with a :class:`CheckpointAborted` if a rank fails mid-protocol)."""
+        """Begin the configured protocol; resolves with a
+        :class:`CheckpointReport` (or with a :class:`CheckpointAborted` if a
+        rank fails mid-protocol)."""
         if self._done is not None and not self._done.done:
             raise RuntimeError("a checkpoint is already in progress")
         if self.failed_ranks:
@@ -138,13 +152,7 @@ class Coordinator:
         self._done = Completion(self.engine, label="coordinator:ckpt")
         self._t0 = self.engine.now
         self._rounds = 0
-        tr = self.engine.tracer
-        if tr.enabled:
-            self._spans = {
-                "ckpt": tr.begin("ckpt", cat=Category.PROTOCOL),
-                "ckpt:intent": tr.begin("ckpt:intent", cat=Category.PROTOCOL),
-            }
-        self._round(CkptMsg.INTEND_TO_CKPT)
+        self.proto.begin()
         return self._done
 
     def notify_rank_failure(self, rank: int) -> None:
@@ -165,6 +173,7 @@ class Coordinator:
         self._phase = "aborted"
         self._expect_kind = None
         self._replies = {}
+        self.proto.reset()
         done, self._done = self._done, None
         tr = self.engine.tracer
         if tr.enabled:
@@ -200,70 +209,12 @@ class Coordinator:
     def _on_reply(self, rank: int, msg: CkptMsg, payload: Any) -> None:
         if self._phase == "aborted" or rank in self.failed_ranks:
             return  # stale reply racing an abort: drop, never raise
-        if msg is CkptMsg.REVISE_IN_PHASE_1:
-            # The rank's earlier in-phase-1 reply went stale (its trivial
-            # barrier completed).  Un-count it, acknowledge (the rank parks
-            # until then), and wait for its deferred exit-phase-2.  The
-            # fully-entered-barrier check guarantees this can only arrive
-            # while the round is still collecting.
-            if self._phase != "collect-states":
-                raise RuntimeError(
-                    f"revision from rank {rank} outside a state round "
-                    f"(phase {self._phase!r})"
-                )
-            self._replies.pop(rank, None)
-            rt = self.runtimes[rank]
-            self.engine.call_after(
-                self.control.reply_delay(), rt.on_ctrl, CkptMsg.REVISE_ACK,
-                None, label=f"coord:revise-ack->r{rank}",
-            )
-            return
-        if msg is not self._expect_kind:
-            raise RuntimeError(
-                f"coordinator in phase {self._phase!r} got {msg} from rank "
-                f"{rank}, expected {self._expect_kind}"
-            )
-        if rank in self._replies:
-            raise RuntimeError(f"duplicate {msg} reply from rank {rank}")
-        self._replies[rank] = payload
-        if len(self._replies) == len(self.runtimes):
-            replies, self._replies = self._replies, {}
-            self._phase_complete(replies)
+        self.proto.on_reply(rank, msg, payload)
 
-    def _start_phase(self, phase: str, expect: CkptMsg) -> None:
+    def _start_phase(self, phase: str, expect: Optional[CkptMsg]) -> None:
         self._phase = phase
         self._expect_kind = expect
         self._replies = {}
-
-    # -------------------------------------------------------- phase machine
-
-    def _needs_extra_iteration(self, replies: dict[int, Any]) -> bool:
-        """True if it is not yet safe to send do-ckpt.
-
-        Unsafe when (a) some rank reported ``exit-phase-2`` — Algorithm 2's
-        printed condition — or (b) every member of some communicator reports
-        ``in-phase-1`` on the *same* trivial barrier: that barrier will
-        complete and commit its ranks into phase 2 right after they replied
-        (the Challenge-I race), so the collective must be allowed to flow
-        through before checkpointing.
-        """
-        in_phase1: dict[int, tuple[set[int], tuple[int, ...]]] = {}
-        for rank, reply in replies.items():
-            if reply is RankCkptState.EXIT_PHASE_2:
-                return True
-            if isinstance(reply, tuple):
-                state, (ctx, members) = reply
-                assert state is RankCkptState.IN_PHASE_1
-                entry = in_phase1.setdefault(ctx, (set(), tuple(members)))
-                entry[0].add(rank)
-        return any(
-            waiting == set(members) for waiting, members in in_phase1.values()
-        )
-
-    def _round(self, msg: CkptMsg) -> None:
-        self._rounds += 1
-        self._start_phase("collect-states", CkptMsg.STATE_REPLY)
-        self._broadcast(msg, lambda i: None)
 
     def _trace_phase(self, close: str, open_next: Optional[str] = None,
                      **close_args) -> None:
@@ -275,67 +226,20 @@ class Coordinator:
         if open_next is not None:
             self._spans[open_next] = tr.begin(open_next, cat=Category.PROTOCOL)
 
-    def _phase_complete(self, replies: dict[int, Any]) -> None:
-        phase = self._phase
-        if phase == "collect-states":
-            if self._needs_extra_iteration(replies):
-                # Algorithm 2 line 7 (plus the Challenge-I refinement):
-                # iterate while anyone exited phase 2, or while some trivial
-                # barrier is fully entered and therefore about to commit.
-                self._round(CkptMsg.EXTRA_ITERATION)
-                return
-            # all ready or safely parked in-phase-1: checkpoint is safe
-            self._trace_phase("ckpt:intent", "ckpt:quiesce", rounds=self._rounds)
-            self._start_phase("bookmarks", CkptMsg.BOOKMARKS)
-            self._broadcast(CkptMsg.DO_CKPT, lambda i: None)
-        elif phase == "bookmarks":
-            # expected receive total per rank = sum of everyone's sends to it
-            expected = [0] * len(self.runtimes)
-            for sent in replies.values():
-                for dst, count in sent.items():
-                    expected[dst] += count
-            self._t_drain_start = self.engine.now
-            self._trace_phase("ckpt:quiesce", "ckpt:drain",
-                              expected_total=sum(expected))
-            self._start_phase("drain", CkptMsg.DRAINED)
-            self._broadcast(CkptMsg.DRAIN, lambda i: expected[i])
-        elif phase == "drain":
-            self._t_drain_end = self.engine.now
-            self._trace_phase("ckpt:drain", "ckpt:write")
-            sizes = [int(replies[r]) for r in range(len(self.runtimes))]
-            report = self.storage.burst(sizes, self.node_of, rng=self.rng)
-            self._t_write_start = self.engine.now
-            self._start_phase("write", CkptMsg.WRITE_DONE)
-            self._broadcast(CkptMsg.WRITE, lambda i: float(report.per_rank[i]))
-        elif phase == "write":
-            images = [replies[r] for r in range(len(self.runtimes))]
-            t_write_end = self.engine.now
-            self._start_phase("idle", None)
-            self._broadcast(CkptMsg.RESUME, lambda i: None)
-            total = t_write_end - self._t0
-            drain = self._t_drain_end - self._t_drain_start
-            write = t_write_end - self._t_write_start
-            self.checkpoints_taken += 1
-            tr = self.engine.tracer
-            if tr.enabled:
-                self._trace_phase("ckpt:write")
-                self._trace_phase("ckpt", rounds=self._rounds,
-                                  drain_s=drain, write_s=write)
-                tr.instant("ckpt:resume", cat=Category.PROTOCOL)
-            m = self.engine.metrics
-            m.counter("ckpt.completed").inc()
-            m.histogram("ckpt.drain_seconds").observe(drain)
-            m.histogram("ckpt.write_seconds").observe(write)
-            m.gauge("ckpt.last_total_seconds").set(total)
-            m.gauge("ckpt.last_rounds").set(self._rounds)
-            self._report = CheckpointReport(
-                total_time=total,
-                drain_time=drain,
-                write_time=write,
-                comm_overhead=max(0.0, total - drain - write),
-                rounds=self._rounds,
-                ckpt_set=CheckpointSet(images=images),
-            )
-            self._done.resolve(self._report)
-        else:
-            raise RuntimeError(f"unexpected phase completion in {phase!r}")
+    def _resolve_report(self, *, total: float, drain: float, write: float,
+                        images: list, quiesce_wait: float,
+                        fallback_ranks: tuple = ()) -> None:
+        """Build the :class:`CheckpointReport` and resolve the completion
+        (called by the protocol engine once every image is written)."""
+        self._report = CheckpointReport(
+            total_time=total,
+            drain_time=drain,
+            write_time=write,
+            comm_overhead=max(0.0, total - drain - write),
+            rounds=self._rounds,
+            ckpt_set=CheckpointSet(images=images),
+            quiesce_wait=quiesce_wait,
+            protocol=self.protocol,
+            fallback_ranks=tuple(fallback_ranks),
+        )
+        self._done.resolve(self._report)

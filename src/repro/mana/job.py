@@ -208,9 +208,13 @@ def launch_mana(
     seed: int = 0,
     control: Optional[ControlPlaneModel] = None,
     stragglers: bool = True,
+    protocol: str = "alg2",
 ) -> ManaJob:
     """Launch a program under MANA on ``cluster``.  Does not start the
-    drivers — call :meth:`ManaJob.start` (so tests can instrument first)."""
+    drivers — call :meth:`ManaJob.start` (so tests can instrument first).
+
+    ``protocol`` selects the checkpoint protocol engine (``"alg2"`` or
+    ``"topo"``; see docs/protocols.md)."""
     engine = engine if engine is not None else Engine()
     world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node, mpi=mpi)
     runtimes = _build_runtimes(
@@ -219,7 +223,7 @@ def launch_mana(
     rng = np.random.default_rng(seed) if stragglers else None
     coordinator = Coordinator(
         engine, runtimes, cluster.storage, list(world.placement),
-        rng=rng, control=control,
+        rng=rng, control=control, protocol=protocol,
     )
     return ManaJob(
         engine, cluster, world, runtimes, coordinator,
@@ -237,6 +241,7 @@ def restart(
     seed: int = 0,
     control: Optional[ControlPlaneModel] = None,
     stragglers: bool = True,
+    protocol: str = "alg2",
 ) -> ManaJob:
     """Restart a checkpointed job on ``cluster`` — any implementation, any
     interconnect, any rank layout.  Returns a job whose drivers resume once
@@ -259,7 +264,7 @@ def restart(
     rng = np.random.default_rng(seed) if stragglers else None
     coordinator = Coordinator(
         engine, runtimes, cluster.storage, list(world.placement),
-        rng=rng, control=control,
+        rng=rng, control=control, protocol=protocol,
     )
     job = ManaJob(
         engine, cluster, world, runtimes, coordinator,

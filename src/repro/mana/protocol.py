@@ -48,6 +48,12 @@ class CkptMsg(enum.Enum):
     REVISE_IN_PHASE_1 = "revise-in-phase-1"
     #: coordinator -> rank: revision processed; proceed into phase 2
     REVISE_ACK = "revise-ack"
+    # topological-sort protocol (protocol v2; see docs/protocols.md)
+    #: coordinator -> rank: freeze now and report state + counters in one
+    #: round (the topo protocol has no extra iterations)
+    TOPO_INTENT = "topo-intent"
+    #: rank -> coordinator: state + collective info + send/receive bookmarks
+    TOPO_STATE = "topo-state"
 
 
 #: coordinator phase -> the name of the trace span covering it
@@ -60,6 +66,20 @@ PHASE_SPANS = {
     "drain": "ckpt:drain",
     "write": "ckpt:write",
 }
+
+#: the same mapping for the topological-sort protocol.  Kept separate from
+#: :data:`PHASE_SPANS` on purpose: Algorithm-2 traces must stay byte-for-byte
+#: identical whether or not the topo engine exists, and the topo drain/write
+#: spans may overlap (per-wave writes start while later ranks still drain),
+#: which the alg2 vocabulary never allows.
+TOPO_PHASE_SPANS = {
+    "topo-intent": "ckpt:topo-intent",
+    "topo-drain": "ckpt:topo-drain",
+    "topo-write": "ckpt:topo-write",
+}
+
+#: checkpoint protocols selectable via the ``protocol=`` knob
+PROTOCOLS = ("alg2", "topo")
 
 
 def ctrl_instant_name(msg: "CkptMsg") -> str:

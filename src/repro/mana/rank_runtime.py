@@ -47,15 +47,20 @@ class P2pCounters:
     sent: dict[int, int] = field(default_factory=dict)   # dst world -> count
     sent_total: int = 0
     received_total: int = 0
+    #: per-source receive bookmarks (src world -> count) — the topo
+    #: protocol's in-flight dependency DAG is ``sent[j][i] - received[i][j]``
+    received: dict[int, int] = field(default_factory=dict)
 
     def count_send(self, dst_world: int) -> None:
         """Bookmark one outgoing message to ``dst_world``."""
         self.sent[dst_world] = self.sent.get(dst_world, 0) + 1
         self.sent_total += 1
 
-    def count_receive(self) -> None:
+    def count_receive(self, src_world: Optional[int] = None) -> None:
         """Bookmark one message delivered to the upper half."""
         self.received_total += 1
+        if src_world is not None:
+            self.received[src_world] = self.received.get(src_world, 0) + 1
 
     def snapshot(self) -> dict:
         """Picklable representation for the checkpoint image."""
@@ -63,6 +68,7 @@ class P2pCounters:
             "sent": dict(self.sent),
             "sent_total": self.sent_total,
             "received_total": self.received_total,
+            "received": dict(self.received),
         }
 
     def restore(self, snap: dict) -> None:
@@ -70,6 +76,10 @@ class P2pCounters:
         self.sent = dict(snap["sent"])
         self.sent_total = int(snap["sent_total"])
         self.received_total = int(snap["received_total"])
+        # images taken before the per-source bookmarks existed restore to an
+        # empty map — the topo DAG then over-approximates in-flight traffic
+        # (extra edges / cycle fallback), which is conservative but correct
+        self.received = dict(snap.get("received", {}))
 
 
 @dataclass
@@ -529,16 +539,20 @@ class ManaRankRuntime:
         if not pend.active:
             return
         data, status = value
-        self._finish_recv(pend, data, status, count=True, journal=True)
+        # status.source is comm-local; bookmark receives by world rank
+        real = self.table.resolve(HandleKind.COMM, pend.vcomm)
+        self._finish_recv(pend, data, status, count=True, journal=True,
+                          src_world=real.world_of_rank(status.source))
 
     def _finish_recv(self, pend: PendingRecv, data: Any, status: Status,
-                     count: bool, journal: bool) -> None:
+                     count: bool, journal: bool,
+                     src_world: Optional[int] = None) -> None:
         pend.active = False
         pend.req = None
         if pend in self.pending_recvs:
             self.pending_recvs.remove(pend)
         if count:
-            self.counters.count_receive()
+            self.counters.count_receive(src_world)
         if journal and pend.journal_key is not None:
             self.recv_journal.setdefault(pend.journal_key, {})[
                 pend.journal_pos
@@ -614,6 +628,38 @@ class ManaRankRuntime:
             else:
                 self.protocol.replied_in_phase1 = False
                 self._reply(CkptMsg.STATE_REPLY, state)
+        elif msg is CkptMsg.TOPO_INTENT:
+            # Topological-sort protocol: freeze immediately and answer the
+            # whole round in one reply.  Wrapper sends are bookmarked
+            # synchronously at call time and a quiesced driver issues no
+            # further calls, so the counters here are final.  The mode stays
+            # PRE_CKPT (not QUIESCED) so the synchronous revision rule still
+            # fires if our trivial barrier commits under the intent.
+            self.protocol.mode = ProtocolMode.PRE_CKPT
+            self.driver.quiesce()
+            phase = self.protocol.phase
+            comm = self.current_wrapper_comm
+            coll = (
+                (comm.context_id, tuple(comm.group.world_ranks))
+                if comm is not None else None
+            )
+            if phase in (WrapperPhase.PHASE_2, WrapperPhase.COMMIT_PENDING):
+                # a laggard: it owes a deferred exit-phase-2 reply once the
+                # collective completes, and drains only after that
+                self.protocol.pending_reply = True
+                state = "in-phase-2"
+            elif phase is WrapperPhase.PHASE_1:
+                self.protocol.replied_in_phase1 = True
+                state = "in-phase-1"
+            else:
+                state = "ready"
+                coll = None
+            self._reply(CkptMsg.TOPO_STATE, {
+                "state": state,
+                "coll": coll,
+                "sent": dict(self.counters.sent),
+                "received": dict(self.counters.received),
+            })
         elif msg is CkptMsg.DO_CKPT:
             self.protocol.mode = ProtocolMode.QUIESCED
             self.driver.quiesce()
@@ -663,7 +709,7 @@ class ManaRankRuntime:
             vcomm=vcomm, src_world=record.src, tag=record.tag,
             data=record.data, size=record.size, seq=record.seq,
         ))
-        self.counters.count_receive()
+        self.counters.count_receive(record.src)
         self.stats.drained_messages += 1
         self._m_drained.inc()
 

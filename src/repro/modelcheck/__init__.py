@@ -12,10 +12,21 @@ explicit-state checker (:mod:`checker`) and two protocol models
   reachable state the system can reach completion;
 * :class:`NaiveModel` — the strawman without the two-phase wrapper, for
   which the checker *finds* the invariant violation (why MANA needs
-  Algorithm 2 at all).
+  Algorithm 2 at all);
+* :class:`TopoSortModel` — the topological-sort protocol v2 (single intent
+  round, laggard classification, per-rank drain → write with no global
+  barrier) on a ring-with-collective scenario whose p2p sends form a
+  dependency cycle; the checker verifies write-after-local-drain,
+  no-write-in-phase-2, and deadlock-freedom of the cycle fallback.
 """
 
 from repro.modelcheck.checker import CheckResult, ModelChecker
-from repro.modelcheck.models import NaiveModel, TwoPhaseModel
+from repro.modelcheck.models import NaiveModel, TopoSortModel, TwoPhaseModel
 
-__all__ = ["CheckResult", "ModelChecker", "NaiveModel", "TwoPhaseModel"]
+__all__ = [
+    "CheckResult",
+    "ModelChecker",
+    "NaiveModel",
+    "TopoSortModel",
+    "TwoPhaseModel",
+]

@@ -206,3 +206,19 @@ def test_sweep_parallelism_is_invisible():
     threaded = facility_sweep(jobs=2, **kwargs)
     assert serial.rows == threaded.rows
     assert serial.columns == threaded.columns
+
+
+def test_preempt_requeue_preserves_fingerprint_under_topo_protocol():
+    """The alg2 preemption round trip, re-run under ``protocol=topo``: the
+    induced checkpoint uses the topological-sort engine, and the resumed
+    job must still finish bit-identical to its unpreempted solo golden
+    (which is protocol-independent — it never checkpoints)."""
+    fac = Facility(_cluster("preempt-topo", 2), scheduler="fifo", seed=5,
+                   protocol="topo")
+    lo, hi = fac.submit_all([LONG_JOB, URGENT_JOB])
+    rep = fac.run()
+    assert rep.completed_jobs == 2
+    assert lo.preemptions >= 1 and lo.restarts >= 1 and lo.checkpoints >= 1
+    assert hi.preemptions == 0
+    assert lo.fingerprint == _solo_fingerprint(LONG_JOB)
+    assert rep.ckpt_traffic_bytes > 0

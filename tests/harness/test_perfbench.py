@@ -28,6 +28,10 @@ def _doc(**overrides):
                              "informational": True},
         "facility_makespan_s": {"value": 0.5, "unit": "s",
                                 "higher_is_better": False},
+        "ckpt_quiesce_wait_s": {"value": 0.0017, "unit": "s",
+                                "higher_is_better": False,
+                                "alg2_s": 0.0034, "topo_s": 0.0017,
+                                "simulated": True},
     }
     for key, m in overrides.items():
         metrics[key] = {**metrics[key], **m}
@@ -49,6 +53,7 @@ def test_valid_doc_passes_and_covers_core_metrics():
     lambda d: d.update(schema="other/9"),
     lambda d: d["host"].update(cpu_count=0),
     lambda d: d["metrics"].pop("sweep_speedup_j2"),
+    lambda d: d["metrics"].pop("ckpt_quiesce_wait_s"),
     lambda d: d["metrics"]["fig2_cell_s"].update(value=float("nan")),
     lambda d: d["metrics"]["fig2_cell_s"].update(unit=""),
 ])
@@ -113,3 +118,12 @@ def test_run_suite_flags_speedup_on_single_core_hosts(monkeypatch):
     monkeypatch.setattr(pb.os, "cpu_count", lambda: 8)
     doc = pb.run_suite(quick=True)
     assert doc["metrics"]["sweep_speedup_j2"]["informational"] is False
+
+
+def test_quiesce_wait_bench_topo_at_most_alg2():
+    """The acceptance criterion behind the metric: topo <= alg2 on the
+    collective-heavy slice, both deterministic simulated times."""
+    from repro.harness.perfbench import bench_ckpt_quiesce_wait
+
+    qw = bench_ckpt_quiesce_wait(n_steps=2)
+    assert 0 < qw["topo_s"] <= qw["alg2_s"]

@@ -95,3 +95,12 @@ def launch_small(cluster, factory, n_ranks=4, **kw):
                       ranks_per_node=max(1, n_ranks // cluster.node_count), **kw)
     job.start()
     return job
+
+
+def ring_job(n_ranks=4, protocol="alg2", n_steps=4):
+    """A started ring app on a fresh 2-node cluster — p2p always in flight,
+    so the topo protocol's dependency DAG is one full cycle."""
+    cluster = make_cluster("ring-src", 2, interconnect="aries",
+                           default_mpi="craympich")
+    return launch_small(cluster, ring_factory(n_steps=n_steps),
+                        n_ranks=n_ranks, protocol=protocol)

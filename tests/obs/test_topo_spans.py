@@ -1,0 +1,71 @@
+"""Trace-span oracle for the topological-sort protocol.
+
+Protocol v2 has its own span vocabulary (:data:`TOPO_PHASE_SPANS`), kept
+disjoint from Algorithm 2's so alg2 traces stay byte-for-byte identical.
+These tests pin both directions of that separation, plus the shared
+umbrella: every checkpoint — either protocol — emits one closed ``ckpt``
+span ending at its ``ckpt:resume`` instant.
+"""
+
+import pytest
+
+from repro.hardware.cluster import make_cluster
+from repro.mana.protocol import PHASE_SPANS, TOPO_PHASE_SPANS
+from repro.obs import Category, drain_tracers
+
+from tests.mana.conftest import launch_small, ring_factory
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("topo-obs", 2, interconnect="aries",
+                        default_mpi="craympich")
+
+
+def _one_tracer():
+    tracers = drain_tracers()
+    assert len(tracers) == 1
+    return tracers[0]
+
+
+def _ckpt_cycle(cluster, protocol):
+    job = launch_small(cluster, ring_factory(n_steps=6, cost=0.2),
+                       n_ranks=4, protocol=protocol)
+    job.checkpoint_at(0.55)
+    job.run_to_completion()
+    return _one_tracer()
+
+
+def test_topo_checkpoint_emits_topo_spans_only(cluster, traced):
+    tracer = _ckpt_cycle(cluster, "topo")
+    for name in TOPO_PHASE_SPANS.values():
+        (span,) = tracer.spans(cat=Category.PROTOCOL, name=name)
+        assert span.closed, f"{name} never closed"
+    # the alg2 vocabulary must be absent — the protocols never mix spans
+    for name in PHASE_SPANS.values():
+        assert tracer.spans(cat=Category.PROTOCOL, name=name) == []
+    # shared umbrella: one ckpt span, closed at the resume instant
+    (ckpt,) = tracer.spans(cat=Category.PROTOCOL, name="ckpt")
+    (resume,) = tracer.instants(cat=Category.PROTOCOL, name="ckpt:resume")
+    assert ckpt.closed and ckpt.end_ts == resume.ts
+
+
+def test_alg2_checkpoint_emits_no_topo_spans(cluster, traced):
+    tracer = _ckpt_cycle(cluster, "alg2")
+    for name in TOPO_PHASE_SPANS.values():
+        assert tracer.spans(cat=Category.PROTOCOL, name=name) == []
+    for name in PHASE_SPANS.values():
+        (span,) = tracer.spans(cat=Category.PROTOCOL, name=name)
+        assert span.closed
+
+
+def test_topo_intent_span_carries_classification(cluster, traced):
+    """The intent span closes with the laggard/wave/fallback verdict —
+    the trace is enough to reconstruct why each rank wrote when it did."""
+    tracer = _ckpt_cycle(cluster, "topo")
+    (intent,) = tracer.spans(cat=Category.PROTOCOL, name="ckpt:topo-intent")
+    assert "laggards" in intent.args
+    assert "waves" in intent.args
+    assert "fallback" in intent.args
+    # the ring keeps a message in flight to every rank: all-cycle fallback
+    assert sorted(intent.args["fallback"]) == [0, 1, 2, 3]
