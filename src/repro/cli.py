@@ -55,6 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--protocol", default="alg2",
                      choices=["alg2", "topo"],
                      help="checkpoint protocol engine (docs/protocols.md)")
+    run.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="event shards for the simulation engine (merged "
+                          "deterministic mode; docs/performance.md)")
     run.add_argument("--out", default=None, metavar="DIR",
                      help="directory to save the checkpoint to")
 
@@ -142,10 +145,17 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="run a single src-label->dst-label pair (the "
                            "syntax divergence repro lines use)")
     conf.add_argument("--protocol", default="alg2",
-                      choices=["alg2", "topo", "both"],
+                      choices=["alg2", "topo", "both", "alternate"],
                       help="checkpoint protocol axis; 'both' runs every "
                            "cycle under each engine and cross-checks the "
-                           "restart fingerprints between them")
+                           "restart fingerprints between them; 'alternate' "
+                           "cuts chained cycles under alg2 then topo")
+    conf.add_argument("--shards", default="1",
+                      choices=["1", "2", "4", "both"],
+                      help="event-shard axis; 'both' runs every cycle "
+                           "sequentially and 2-sharded and cross-checks "
+                           "the restart fingerprints (the shard "
+                           "differential)")
     conf.add_argument("--report", default=None, metavar="FILE",
                       help="also write the full cycle-by-cycle report as "
                            "JSON (the scheduled-CI artifact)")
@@ -173,6 +183,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fac.add_argument("--protocol", default="alg2",
                      choices=["alg2", "topo"],
                      help="checkpoint protocol for induced checkpoints")
+    fac.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="event shards for the facility's shared engine "
+                          "(merged deterministic mode)")
     fac.add_argument("--ckpt-interval", type=float, default=None,
                      metavar="T", help="periodic checkpoint interval in "
                                        "virtual seconds (default: off)")
@@ -277,7 +290,8 @@ def cmd_run(args, out) -> int:
         return 0
 
     job = _launch_mana_app(cluster, spec, cfg, n_ranks, rpn,
-                           protocol=args.protocol)
+                           protocol=args.protocol,
+                           shards=args.shards if args.shards > 1 else None)
     if args.checkpoint_at is not None:
         ckpt, report = job.checkpoint_at(args.checkpoint_at)
         print(f"checkpoint at t={args.checkpoint_at}: "
@@ -431,6 +445,7 @@ def cmd_conformance(args, out) -> int:
         n_ranks=args.ranks, n_steps=args.steps,
         n_sources=args.sources, ckpts_per_source=args.ckpts_per_source,
         jobs=args.jobs, only=args.only, protocol=args.protocol,
+        shards=args.shards,
     )
     print(report.summary(), file=out)
     if args.report:
@@ -465,7 +480,8 @@ def cmd_facility(args, out) -> int:
     )
     fac = Facility(cluster, scheduler=args.policy, seed=args.seed,
                    checkpoint_interval=args.ckpt_interval,
-                   protocol=args.protocol)
+                   protocol=args.protocol,
+                   shards=args.shards if args.shards > 1 else None)
     fac.submit_all(generate_jobs(args.mix, args.n_jobs, seed=args.seed))
     rep = fac.run()
     print(rep.summary(), file=out)

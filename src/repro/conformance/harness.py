@@ -138,7 +138,8 @@ def golden_run(app: str, cell: ConfigCell = REF_CELL, n_ranks: int = 4,
 
 
 def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
-                       seed: int, k: int, protocol: str = "alg2"):
+                       seed: int, k: int, protocol: str = "alg2",
+                       shards: int = 1):
     """(checkpoint set, source-engine totals, ckpt time), memoized.
 
     The checkpoint set is only ever *read* by restarts (the property fig9's
@@ -146,10 +147,13 @@ def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
     destination cell of the matrix within a process.  The fuzzed cut time
     comes from a protocol-independent rng stream, so the alg2 and topo
     variants of one cycle checkpoint at the same virtual instant — the
-    ideal differential.
+    ideal differential.  ``shards`` > 1 runs the source job on a sharded
+    engine (merged mode) — the engine must be bit-identical, so the shard
+    axis gets its own memo slot precisely to *not* share the sequential
+    run's images.
     """
     key = ("conformance-src", app, src.as_tuple(), n_ranks, n_steps, seed, k,
-           protocol)
+           protocol, shards)
 
     def compute():
         from repro.harness.experiments import _launch_mana_app
@@ -160,7 +164,8 @@ def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
         spec, cfg = _app_pieces(app, n_steps)
         cluster = cluster_for(src, n_eff)
         job = _launch_mana_app(cluster, spec, cfg, n_eff,
-                               src.ranks_per_node, protocol=protocol)
+                               src.ranks_per_node, protocol=protocol,
+                               shards=shards if shards > 1 else None)
         ckpt, _report = job.checkpoint_at(t_ckpt)
         return ckpt, conservation_totals(job.engine.metrics), t_ckpt
 
@@ -180,10 +185,13 @@ class CycleResult:
     k: int
     ckpt_time: float
     divergences: tuple   # of Divergence
-    #: which checkpoint protocol drove the cycle
+    #: which checkpoint protocol drove the cycle ("alternate" = chained
+    #: hops cut under alg2 → topo in turn)
     protocol: str = "alg2"
     #: the restarted run's final-state fingerprint (cross-protocol check)
     fingerprint: str = ""
+    #: how many event shards the cycle's engines ran on (1 = sequential)
+    shards: int = 1
 
     @property
     def ok(self) -> bool:
@@ -199,16 +207,34 @@ class CycleResult:
 
     def repro(self, tier: str = "quick") -> str:
         """A shell one-liner that re-runs exactly this cycle."""
-        return (f"python -m repro conformance --{tier} --seed {self.seed} "
+        line = (f"python -m repro conformance --{tier} --seed {self.seed} "
                 f"--apps {self.app} --protocol {self.protocol} "
                 f"--only '{self.pair}'")
+        if self.shards != 1:
+            line += f" --shards {self.shards}"
+        return line
+
+
+def _hop_protocols(protocol: str) -> tuple[str, str, str]:
+    """Per-hop checkpoint protocols for (first cut, second cut, final run).
+
+    ``"alternate"`` drives a chained cycle's hops under *different*
+    engines — alg2 cuts the source, topo cuts the restarted job, alg2 hosts
+    the final run — so the oracles prove a checkpoint taken by one protocol
+    restores cleanly under the other, in both directions.  Any other value
+    is used uniformly (the historical behaviour).
+    """
+    if protocol == "alternate":
+        return ("alg2", "topo", "alg2")
+    return (protocol, protocol, protocol)
 
 
 def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
                        n_ranks: int = 4, n_steps: int = 4,
                        seed: int = 0, k: int = 0,
                        chain: bool = False,
-                       protocol: str = "alg2") -> CycleResult:
+                       protocol: str = "alg2",
+                       shards: int = 1) -> CycleResult:
     """Run one golden/checkpoint/restart/oracle cycle and report it.
 
     With ``chain=True`` the cycle becomes a two-hop round trip: checkpoint
@@ -218,10 +244,16 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
     totals of all three segments must still conserve against the golden.
 
     ``protocol`` selects the checkpoint protocol engine for every cut in
-    the cycle; the golden runs are checkpoint-free and therefore shared.
+    the cycle (``"alternate"``: alg2 → topo → alg2 across a chain's hops);
+    the golden runs are checkpoint-free and therefore shared.  ``shards``
+    > 1 runs the source and restart jobs on sharded engines — the golden
+    stays sequential, so every oracle doubles as a sequential-vs-sharded
+    differential.
     """
     from repro.mana.job import restart
 
+    proto_cut1, proto_cut2, proto_final = _hop_protocols(protocol)
+    job_shards = shards if shards > 1 else None
     ref = golden_run(app, REF_CELL, n_ranks, n_steps)
     divergences: list[Divergence] = []
 
@@ -237,13 +269,15 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
         ))
 
     ckpt, src_totals, t_ckpt = _source_checkpoint(
-        app, src, n_ranks, n_steps, seed, k, protocol=protocol
+        app, src, n_ranks, n_steps, seed, k, protocol=proto_cut1,
+        shards=shards,
     )
     n_eff = effective_ranks(app, n_ranks)
     spec, cfg = _app_pieces(app, n_steps)
     job2 = restart(
         ckpt, cluster_for(dst, n_eff), spec.build(cfg),
-        mpi=dst.mpi, ranks_per_node=dst.ranks_per_node, protocol=protocol,
+        mpi=dst.mpi, ranks_per_node=dst.ranks_per_node, protocol=proto_cut2,
+        shards=job_shards,
     )
 
     mid_totals = None
@@ -264,7 +298,7 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
             final_job = restart(
                 ckpt2, cluster_for(src, n_eff), spec.build(cfg),
                 mpi=src.mpi, ranks_per_node=src.ranks_per_node,
-                protocol=protocol,
+                protocol=proto_final, shards=job_shards,
             )
         # else: the dst cell outran the fuzzed window — the cycle
         # degenerates to a single hop, which is still a full oracle check
@@ -283,13 +317,13 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
     return CycleResult(
         app=app, src=src.as_tuple(), dst=dst.as_tuple(),
         seed=seed, k=k, ckpt_time=t_ckpt, divergences=tuple(divergences),
-        protocol=protocol, fingerprint=final_fp,
+        protocol=protocol, fingerprint=final_fp, shards=shards,
     )
 
 
 def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
                 n_steps: int, seed: int, k: int,
-                protocol: str = "alg2") -> CycleResult:
+                protocol: str = "alg2", shards: int = 1) -> CycleResult:
     """SweepCell entry point: primitives in, picklable CycleResult out.
 
     Cycles beyond the first per source (``k > 0``) run as two-hop chains —
@@ -299,7 +333,7 @@ def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
     return differential_cycle(
         app, ConfigCell.from_tuple(src_t), ConfigCell.from_tuple(dst_t),
         n_ranks=n_ranks, n_steps=n_steps, seed=seed, k=k, chain=k > 0,
-        protocol=protocol,
+        protocol=protocol, shards=shards,
     )
 
 
@@ -315,8 +349,10 @@ class ConformanceReport:
     n_steps: int
     apps: tuple
     results: list
-    #: "alg2" | "topo" | "both" — the sweep's protocol axis
+    #: "alg2" | "topo" | "both" | "alternate" — the sweep's protocol axis
     protocol: str = "alg2"
+    #: "1" | "2" | ... | "both" — the sweep's shard axis
+    shards: str = "1"
 
     @property
     def divergent(self) -> list[CycleResult]:
@@ -333,7 +369,7 @@ class ConformanceReport:
         cells = {r.dst for r in self.results} | {r.src for r in self.results}
         lines = [
             f"conformance[{self.tier}] seed={self.seed} "
-            f"protocol={self.protocol}: "
+            f"protocol={self.protocol} shards={self.shards}: "
             f"{len(self.results)} cycles over {len(cells)} cells "
             f"({len(self.apps)} apps, {self.n_ranks} ranks, "
             f"{self.n_steps} steps) — "
@@ -341,8 +377,8 @@ class ConformanceReport:
         ]
         for r in self.divergent:
             lines.append(
-                f"DIVERGENT: {r.app} {r.pair} k{r.k} [{r.protocol}] "
-                f"ckpt@{r.ckpt_time:.4f}s"
+                f"DIVERGENT: {r.app} {r.pair} k{r.k} [{r.protocol}/"
+                f"s{r.shards}] ckpt@{r.ckpt_time:.4f}s"
             )
             for d in r.divergences:
                 lines.append(f"  {d}")
@@ -358,6 +394,7 @@ class ConformanceReport:
             "n_steps": self.n_steps,
             "apps": list(self.apps),
             "protocol": self.protocol,
+            "shards": self.shards,
             "ok": self.ok,
             "cycles": len(self.results),
             "cycle_results": [
@@ -366,6 +403,7 @@ class ConformanceReport:
                     "pair": r.pair,
                     "k": r.k,
                     "protocol": r.protocol,
+                    "shards": r.shards,
                     "ckpt_time": r.ckpt_time,
                     "ok": r.ok,
                     "divergences": [str(d) for d in r.divergences],
@@ -407,6 +445,49 @@ def _cross_protocol_check(results: list) -> list:
     return out
 
 
+def _cross_shard_check(results: list) -> list:
+    """The shard differential's extra oracle: pair each cycle's sequential
+    and sharded runs and demand bit-identical final fingerprints.
+
+    The sharded engine's contract is *byte-identical* execution, so any
+    drift between the shard counts of one cycle — even if both still match
+    the golden — is a divergence worth failing on.
+    """
+    by_cycle: dict[tuple, dict[int, CycleResult]] = {}
+    for r in results:
+        by_cycle.setdefault(
+            (r.app, r.src, r.dst, r.seed, r.k, r.protocol), {}
+        )[r.shards] = r
+    out = []
+    for r in results:
+        peers = by_cycle[(r.app, r.src, r.dst, r.seed, r.k, r.protocol)]
+        for other_shards, other in sorted(peers.items()):
+            if other_shards >= r.shards or not (r.fingerprint
+                                                and other.fingerprint):
+                continue
+            if r.fingerprint != other.fingerprint:
+                div = Divergence(
+                    oracle="cross_shard",
+                    expected=other.fingerprint, actual=r.fingerprint,
+                    detail=(f"shards={other.shards} vs shards={r.shards} "
+                            "restart fingerprints differ"),
+                )
+                r = replace(r, divergences=r.divergences + (div,))
+        out.append(r)
+    return out
+
+
+def _parse_shards_axis(shards) -> tuple[int, ...]:
+    """``shards`` axis values: an int, a numeric string, or ``"both"``
+    (sequential + 2-shard, the CI differential)."""
+    if shards == "both":
+        return (1, 2)
+    n = int(shards)
+    if n < 1:
+        raise ValueError(f"shards must be >= 1, got {shards!r}")
+    return (n,)
+
+
 def run_conformance(
     tier: str = "quick",
     seed: int = 0,
@@ -418,6 +499,7 @@ def run_conformance(
     jobs: Optional[int] = 1,
     only: Optional[str] = None,
     protocol: str = "alg2",
+    shards="1",
 ) -> ConformanceReport:
     """Sweep the tier's matrix: every app × source cell × *other* cell.
 
@@ -429,19 +511,27 @@ def run_conformance(
     run the matrix under one engine; ``"both"`` runs every cycle under
     each engine at the same fuzzed cut time and additionally cross-checks
     the two restart fingerprints against each other (the protocol
-    differential — see docs/protocols.md).
+    differential — see docs/protocols.md); ``"alternate"`` cuts a chained
+    cycle's hops under alg2 → topo in turn (single-hop cycles degenerate
+    to alg2).
+
+    ``shards`` selects the event-shard axis the same way: ``"1"``/``"2"``
+    run every cycle at that shard count, ``"both"`` runs each cycle
+    sequentially *and* 2-sharded and cross-checks the fingerprints
+    (the shard differential — see docs/performance.md).
     """
     from repro.mana.protocol import PROTOCOLS
 
     if protocol == "both":
         protocols = PROTOCOLS
-    elif protocol in PROTOCOLS:
+    elif protocol in PROTOCOLS + ("alternate",):
         protocols = (protocol,)
     else:
         raise ValueError(
             f"unknown protocol {protocol!r}: expected one of "
-            f"{PROTOCOLS + ('both',)}"
+            f"{PROTOCOLS + ('both', 'alternate')}"
         )
+    shard_counts = _parse_shards_axis(shards)
     apps = tuple(apps or DEFAULT_APPS)
     dsts = matrix_for(tier)
     srcs = source_cells(dsts, n_sources)
@@ -449,8 +539,9 @@ def run_conformance(
         SweepCell(
             _cycle_cell,
             (app, s.as_tuple(), d.as_tuple(), n_ranks, n_steps, seed, k,
-             proto),
-            label=f"conf:{app}:{s.label}->{d.label}/k{k}/{proto}",
+             proto, n_shards),
+            label=(f"conf:{app}:{s.label}->{d.label}/k{k}/{proto}"
+                   f"/s{n_shards}"),
         )
         for app in apps
         for s in srcs
@@ -458,6 +549,7 @@ def run_conformance(
         if d != s
         for k in range(ckpts_per_source)
         for proto in protocols
+        for n_shards in shard_counts
         if only is None or f"{s.label}->{d.label}" == only
     ]
     if not cells:
@@ -468,7 +560,9 @@ def run_conformance(
     results = list(run_cells(cells, jobs=jobs))
     if len(protocols) > 1:
         results = _cross_protocol_check(results)
+    if len(shard_counts) > 1:
+        results = _cross_shard_check(results)
     return ConformanceReport(
         tier=tier, seed=seed, n_ranks=n_ranks, n_steps=n_steps,
-        apps=apps, results=results, protocol=protocol,
+        apps=apps, results=results, protocol=protocol, shards=str(shards),
     )

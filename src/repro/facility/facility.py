@@ -93,8 +93,16 @@ class Facility:
         control: Optional[ControlPlaneModel] = None,
         stragglers: bool = True,
         protocol: str = "alg2",
+        shards: Optional[int] = None,
     ) -> None:
-        self.engine = engine if engine is not None else Engine()
+        if engine is not None:
+            self.engine = engine
+        elif shards is not None and shards > 1:
+            from repro.harness.partition import make_sharded_engine
+
+            self.engine = make_sharded_engine(cluster, shards)
+        else:
+            self.engine = Engine()
         self.cluster = cluster
         self.scheduler = (
             scheduler if isinstance(scheduler, SchedulerPolicy)

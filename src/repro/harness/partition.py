@@ -1,0 +1,129 @@
+"""Shard partitioner: node → shard maps with fabric-derived lookahead.
+
+The sharded engine (:mod:`repro.simtime.sharded`) is only as good as its
+partition: shards must be **node-aligned** (intra-node shared-memory
+traffic has α ≈ 0.45 µs — far below any safe window — so a node's ranks
+must never straddle shards) and the conservative lookahead must be a true
+lower bound on every cross-shard edge.  For a node-aligned partition that
+bound is the *fabric's* α latency: every inter-node message pays at least
+``α`` of wire latency before it can land on another shard, and the
+checkpoint coordinator's control plane (latency 100 µs,
+:class:`repro.mana.coordinator.ControlPlaneModel`) is slower still, so α
+is the binding constraint.
+
+:func:`plan_shards` block-partitions node ids — consecutive ids share a
+rack (see :meth:`~repro.hardware.cluster.Cluster.rack_groups`), and block
+placement puts consecutive ranks on consecutive nodes, so contiguous
+blocks also maximize intra-shard locality for nearest-neighbour exchange
+patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.simtime.sharded import ShardPlan
+
+
+def lookahead_for(interconnect: str) -> float:
+    """Minimum virtual latency of a cross-shard (inter-node) edge on
+    ``interconnect`` — the fabric's α."""
+    from repro.net.fabrics import INTERCONNECTS
+
+    try:
+        cls = INTERCONNECTS[interconnect]
+    except KeyError:
+        raise ValueError(
+            f"unknown interconnect {interconnect!r}; "
+            f"known: {sorted(INTERCONNECTS)}"
+        ) from None
+    return float(cls.alpha)
+
+
+def plan_shards(
+    n_nodes: int,
+    n_shards: int,
+    interconnect: str = "tcp",
+    control_shard: int = 0,
+) -> ShardPlan:
+    """Block-partition ``n_nodes`` node ids into ``n_shards`` shards.
+
+    Nodes are split into contiguous, balanced blocks (sizes differ by at
+    most one, earlier shards take the remainder — the same convention as
+    :meth:`Cluster.place_ranks`).  ``n_shards`` is clamped to ``n_nodes``:
+    asking for more shards than nodes silently degrades to one node per
+    shard rather than erroring, so callers can pass a fixed ``shards=``
+    knob across cluster sizes.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, n_nodes)
+    base, extra = divmod(n_nodes, n_shards)
+    shard_of_node: list[int] = []
+    for shard in range(n_shards):
+        shard_of_node.extend([shard] * (base + (1 if shard < extra else 0)))
+    return ShardPlan(
+        n_shards=n_shards,
+        shard_of_node=tuple(shard_of_node),
+        lookahead=lookahead_for(interconnect),
+        control_shard=min(control_shard, n_shards - 1),
+    )
+
+
+def plan_for_cluster(cluster, n_shards: int,
+                     control_shard: int = 0) -> ShardPlan:
+    """A :class:`ShardPlan` for ``cluster``: node-aligned contiguous blocks
+    with lookahead from the cluster's fabric.
+
+    Node ids need not be dense (facility slice clusters renumber): the map
+    covers ``max(node_id) + 1`` slots, with ids absent from the cluster
+    assigned to the shard of the nearest preceding real node so the tuple
+    stays total.
+    """
+    ids = sorted(n.node_id for n in cluster.nodes)
+    if not ids:
+        raise ValueError(f"cluster {cluster.name!r} has no nodes")
+    block_plan = plan_shards(len(ids), n_shards, cluster.interconnect,
+                             control_shard=control_shard)
+    shard_of_node = [0] * (ids[-1] + 1)
+    shard = 0
+    for pos, node_id in enumerate(ids):
+        shard = block_plan.shard_of_node[pos]
+        shard_of_node[node_id] = shard
+        # fill any id gap after this node with its shard
+        nxt = ids[pos + 1] if pos + 1 < len(ids) else node_id + 1
+        for gap in range(node_id + 1, nxt):
+            shard_of_node[gap] = shard
+    return ShardPlan(
+        n_shards=block_plan.n_shards,
+        shard_of_node=tuple(shard_of_node),
+        lookahead=block_plan.lookahead,
+        control_shard=block_plan.control_shard,
+    )
+
+
+def shard_of_ranks(plan: ShardPlan,
+                   placement: Sequence[int]) -> tuple[int, ...]:
+    """Rank → shard, through a rank → node placement."""
+    return tuple(plan.shard_of_node[node] for node in placement)
+
+
+def make_sharded_engine(
+    cluster,
+    shards: Optional[int],
+    mode: str = "merged",
+    start_time: float = 0.0,
+):
+    """Engine factory honouring a ``shards=`` knob: a plain
+    :class:`~repro.simtime.engine.Engine` when ``shards`` is None or 1,
+    else a :class:`~repro.simtime.sharded.ShardedEngine` over
+    :func:`plan_for_cluster`."""
+    from repro.simtime.engine import Engine
+    from repro.simtime.sharded import ShardedEngine
+
+    if shards is None or shards <= 1:
+        return Engine(start_time)
+    return ShardedEngine(plan_for_cluster(cluster, shards), mode=mode,
+                         start_time=start_time)

@@ -82,9 +82,19 @@ class ManaJob:
     # ------------------------------------------------------------ execution
 
     def start(self) -> "ManaJob":
-        """Begin execution (schedules the first event)."""
-        for rt in self.runtimes:
-            rt.driver.start()
+        """Begin execution (schedules the first event).
+
+        On a sharded engine each rank's first event is seeded with the
+        rank's shard affinity, so the whole downstream compute/drain chain
+        of that rank stays on its shard (events inherit the shard of the
+        event that scheduled them)."""
+        plan = self.engine.plan
+        placement = list(self.world.placement)
+        for rank, rt in enumerate(self.runtimes):
+            shard = (None if plan is None
+                     else plan.shard_of_rank(placement, rank))
+            with self.engine.scheduling_shard(shard):
+                rt.driver.start()
         if not self.resumed.done:
             self.resumed.resolve(None)
         return self
@@ -197,6 +207,23 @@ def _build_runtimes(
     return runtimes
 
 
+def _engine_for(engine: Optional[Engine], cluster: Cluster,
+                shards: Optional[int]) -> Engine:
+    """Honour the ``shards=`` knob when the caller did not supply an engine.
+
+    Imported lazily: :mod:`repro.harness` imports the experiment runners
+    (which import this module) at package-import time, so the partitioner
+    must not be imported at :mod:`repro.mana.job` import time.
+    """
+    if engine is not None:
+        return engine
+    if shards is not None and shards > 1:
+        from repro.harness.partition import make_sharded_engine
+
+        return make_sharded_engine(cluster, shards)
+    return Engine()
+
+
 def launch_mana(
     cluster: Cluster,
     program_factory: ProgramFactory,
@@ -209,13 +236,17 @@ def launch_mana(
     control: Optional[ControlPlaneModel] = None,
     stragglers: bool = True,
     protocol: str = "alg2",
+    shards: Optional[int] = None,
 ) -> ManaJob:
     """Launch a program under MANA on ``cluster``.  Does not start the
     drivers — call :meth:`ManaJob.start` (so tests can instrument first).
 
     ``protocol`` selects the checkpoint protocol engine (``"alg2"`` or
-    ``"topo"``; see docs/protocols.md)."""
-    engine = engine if engine is not None else Engine()
+    ``"topo"``; see docs/protocols.md).  ``shards`` > 1 builds the job on
+    a :class:`~repro.simtime.sharded.ShardedEngine` partitioned per
+    :func:`repro.harness.partition.plan_for_cluster` (only when ``engine``
+    is not supplied); ``None``/1 keeps the plain sequential engine."""
+    engine = _engine_for(engine, cluster, shards)
     world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node, mpi=mpi)
     runtimes = _build_runtimes(
         engine, cluster, world, program_factory, app_mem_bytes
@@ -242,13 +273,16 @@ def restart(
     control: Optional[ControlPlaneModel] = None,
     stragglers: bool = True,
     protocol: str = "alg2",
+    shards: Optional[int] = None,
 ) -> ManaJob:
     """Restart a checkpointed job on ``cluster`` — any implementation, any
     interconnect, any rank layout.  Returns a job whose drivers resume once
     init + image reads + record-replay have completed (all modeled on the
     job's fresh engine); ``job.restart_report`` is filled in at that point.
+    ``shards`` works as in :func:`launch_mana` (the restart cluster's own
+    partition — a restart may change shard count like anything else).
     """
-    engine = engine if engine is not None else Engine()
+    engine = _engine_for(engine, cluster, shards)
     n_ranks = ckpt.n_ranks
     world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node, mpi=mpi)
 
@@ -283,11 +317,16 @@ def restart(
     def begin_replay() -> None:
         replay_start = engine.now
         replays = []
+        plan = engine.plan
+        placement = list(world.placement)
         for rank, rt in enumerate(runtimes):
             state = ckpt.image_for(rank).restore_state()
             replays.append(rt.restore_from(state))
-        for rp in replays:
-            rp.start()
+        for rank, rp in enumerate(replays):
+            shard = (None if plan is None
+                     else plan.shard_of_rank(placement, rank))
+            with engine.scheduling_shard(shard):
+                rp.start()
 
         def resume_all(_values) -> None:
             replay_time = engine.now - replay_start

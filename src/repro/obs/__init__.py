@@ -10,6 +10,7 @@ from repro.obs.events import Category, InstantEvent, SpanEvent
 from repro.obs.export import (
     TraceValidationError,
     chrome_trace,
+    merge_trace_streams,
     metrics_table,
     rank_timeline,
     validate_chrome_trace,
@@ -41,6 +42,7 @@ __all__ = [
     "SpanEvent",
     "TraceValidationError",
     "chrome_trace",
+    "merge_trace_streams",
     "metrics_table",
     "rank_timeline",
     "validate_chrome_trace",

@@ -1,0 +1,762 @@
+"""Sharded discrete-event execution with conservative cross-shard sync.
+
+The sequential :class:`~repro.simtime.engine.Engine` is pinned at
+single-core pure-Python throughput.  This module partitions the simulated
+world into **event shards** — one shard per node group, planned by
+:mod:`repro.harness.partition` — and synchronizes them conservatively on
+cross-shard message edges, Chandy–Misra–Bryant style: because every
+cross-shard edge carries at least ``lookahead`` seconds of latency (the
+fabric's α for inter-node messages, the control plane's latency for
+coordinator traffic), a shard sitting at virtual time *t* can safely
+execute every local event strictly before ``t + lookahead`` without ever
+receiving an event in its past.
+
+Three execution modes share one window algebra:
+
+* **merged** (:class:`ShardedEngine`, ``mode="merged"``) — one process,
+  one heap, the exact global ``(time, priority, seq)`` order of the
+  sequential engine.  Every event carries a shard affinity and every
+  *explicitly tagged* cross-shard edge is audited against the lookahead;
+  the result is byte-identical to the sequential engine by construction.
+  This is the mode ``launch_mana(shards=k)`` uses, and the mode the
+  conformance harness cross-checks: it proves the world is decomposable
+  (no cross-shard edge below the lookahead) while keeping the bitwise
+  determinism contract.
+* **windowed** (:class:`ShardedEngine`, ``mode="windowed"``) — one
+  process, one heap *per shard*, shards advancing independently inside
+  conservative time windows ``[floor, floor + lookahead)``.  The
+  in-process twin of the parallel backend: same window schedule, same
+  causality rules, inspectable and cheap to test differentially.
+* **process** (:func:`run_sharded`) — true parallel OS processes, one
+  shard world per worker (built inside the worker from a picklable
+  :class:`ShardSpec`, the :class:`~repro.harness.parallel.SweepCell`
+  contract), synchronized per window over pipes by a persistent
+  :class:`~repro.harness.parallel.WorkerPool`.  This is where the
+  events/s scaling comes from (``engine_events_per_s_sharded`` in
+  ``BENCH_perf.json``).
+
+Determinism is the contract in every mode: merged mode preserves the
+sequential order exactly; windowed and process modes fire each shard's
+events in local ``(time, priority, seq)`` order and inject cross-shard
+messages sorted by ``(arrival, source shard, emission index)``, so two
+runs of the same world produce identical results regardless of worker
+scheduling.  See ``docs/performance.md`` ("Sharded execution").
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.simtime.engine import (
+    _FIRED,
+    _LABEL,
+    _PAYLOAD,
+    _WHEN,
+    Engine,
+    EventHandle,
+    SimulationError,
+)
+
+#: index of the shard affinity slot in a sharded queue entry
+#: (``[when, priority, seq, label, payload, shard]``)
+_SHARD = 5
+
+#: relative slack for lookahead comparisons: virtual times are doubles, so
+#: ``(now + α) - now`` can round below α by a few ulps of ``now``
+_ULP = 2.220446049250313e-16
+
+
+def _lookahead_tolerance(now: float) -> float:
+    return 16.0 * _ULP * max(1.0, abs(now))
+
+
+class CausalityError(SimulationError):
+    """A cross-shard event would land in its target shard's past, or a
+    cross-shard edge carries less than the plan's lookahead."""
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of a simulated world into event shards.
+
+    ``shard_of_node`` maps node id → shard id (node-aligned, so intra-node
+    shared-memory traffic never crosses shards); ``lookahead`` is the
+    minimum virtual latency of any cross-shard edge — the conservative
+    synchronization window.  Built by
+    :func:`repro.harness.partition.plan_shards`.
+    """
+
+    n_shards: int
+    shard_of_node: tuple[int, ...]
+    lookahead: float
+    #: shard that owns global actors (checkpoint coordinator, scheduler)
+    control_shard: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if not self.lookahead > 0.0:
+            raise ValueError(
+                f"lookahead must be positive, got {self.lookahead}"
+            )
+        if not self.shard_of_node:
+            raise ValueError("shard_of_node must cover at least one node")
+        for node, shard in enumerate(self.shard_of_node):
+            if not 0 <= shard < self.n_shards:
+                raise ValueError(
+                    f"node {node} assigned to shard {shard}, outside "
+                    f"[0, {self.n_shards})"
+                )
+        if not 0 <= self.control_shard < self.n_shards:
+            raise ValueError(
+                f"control_shard {self.control_shard} outside "
+                f"[0, {self.n_shards})"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes the plan covers."""
+        return len(self.shard_of_node)
+
+    def shard_of_rank(self, placement: Sequence[int], rank: int) -> int:
+        """Shard of ``rank`` given a rank → node placement."""
+        return self.shard_of_node[placement[rank]]
+
+    def nodes_of(self, shard: int) -> tuple[int, ...]:
+        """The node ids assigned to ``shard``."""
+        return tuple(n for n, s in enumerate(self.shard_of_node)
+                     if s == shard)
+
+
+class ShardedEngine(Engine):
+    """A sharded engine: per-event shard affinity + conservative sync.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`ShardPlan` (node → shard map plus lookahead).
+    mode:
+        ``"merged"`` (default) executes the exact sequential global order
+        while auditing cross-shard edges; ``"windowed"`` advances shards
+        independently inside conservative windows (the in-process twin of
+        the parallel backend — microworlds and differential tests, not
+        full MANA jobs).
+    strict:
+        If True (default), a cross-shard edge below the lookahead raises
+        :class:`CausalityError`; otherwise it is recorded in
+        :attr:`lookahead_violations` and execution continues (merged mode
+        stays correct either way — the audit is what proves the world
+        decomposable).
+
+    Affinity resolution, highest precedence first: an explicit ``shard=``
+    argument to ``call_at``/``call_after`` (fabric delivery and the
+    coordinator tag these), the :meth:`scheduling_shard` context (launch
+    and restart seeding), and finally the shard of the currently executing
+    event (a rank's own compute/drain chain stays on its shard for free).
+    """
+
+    def __init__(self, plan: ShardPlan, mode: str = "merged",
+                 start_time: float = 0.0, strict: bool = True) -> None:
+        if mode not in ("merged", "windowed"):
+            raise ValueError(f"unknown mode {mode!r}: "
+                             "expected 'merged' or 'windowed'")
+        super().__init__(start_time)
+        self.plan = plan
+        self.mode = mode
+        self.strict = strict
+        self._context_shard: Optional[int] = None
+        self._current_shard = plan.control_shard
+        #: per-shard event queues (windowed mode; merged uses the global heap)
+        self._shard_queues: list[list[list]] = [
+            [] for _ in range(plan.n_shards)
+        ]
+        #: per-shard local clocks (windowed mode)
+        self._local_now = [float(start_time)] * plan.n_shards
+        #: events dispatched per shard (observability)
+        self.events_by_shard = [0] * plan.n_shards
+        #: per-shard ``(time, label)`` dispatch streams when ``trace`` is on
+        self.shard_traces: list[list[tuple[float, str]]] = [
+            [] for _ in range(plan.n_shards)
+        ]
+        #: count of explicitly tagged cross-shard edges scheduled so far
+        self.cross_shard_events = 0
+        #: ``(label, delta, lookahead)`` for every under-lookahead edge seen
+        #: (non-strict mode; strict mode raises instead)
+        self.lookahead_violations: list[tuple[str, float, float]] = []
+
+    # ------------------------------------------------------------ affinity
+
+    def scheduling_shard(self, shard: Optional[int]):
+        """Fix the default shard affinity for events scheduled inside the
+        ``with`` block (used when seeding per-rank start/replay events)."""
+        return _ShardContext(self, shard)
+
+    @property
+    def current_shard(self) -> int:
+        """Shard of the event being dispatched (control shard at rest)."""
+        return self._current_shard
+
+    def shard_of_node(self, node: int) -> int:
+        """Shard owning ``node`` under the plan."""
+        return self.plan.shard_of_node[node]
+
+    # ---------------------------------------------------------- scheduling
+
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+        shard: Optional[int] = None,
+        shard_from: Optional[int] = None,
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at ``when`` on a shard.
+
+        The event's shard is ``shard`` if given, else the
+        :meth:`scheduling_shard` context, else the shard of the currently
+        executing event.  Explicitly tagged edges that cross shards are
+        audited against the plan's lookahead; the edge's origin is
+        ``shard_from`` when given (message edges carry their topological
+        source — completions resolve synchronously across ranks, so the
+        dispatching shard is not the message's provenance), else the
+        scheduling context.
+        """
+        now = self._now
+        if when < now:
+            if math.isnan(when):
+                raise SimulationError("cannot schedule event at NaN time")
+            if when < now - 1e-15:
+                raise SimulationError(
+                    f"cannot schedule event in the past: {when} < now={now}"
+                )
+            when = now
+        elif when != when:  # NaN compares false both ways
+            raise SimulationError("cannot schedule event at NaN time")
+        if shard_from is not None:
+            origin = shard_from
+        elif self._context_shard is not None:
+            origin = self._context_shard
+        else:
+            origin = self._current_shard
+        target = origin if shard is None else shard
+        if target != origin:
+            self.cross_shard_events += 1
+            lookahead = self.plan.lookahead
+            delta = when - now
+            if delta < lookahead - _lookahead_tolerance(now):
+                if self.strict:
+                    raise CausalityError(
+                        f"cross-shard event {label!r} (shard {origin} -> "
+                        f"{target}) carries {delta:.3e}s < lookahead "
+                        f"{lookahead:.3e}s"
+                    )
+                self.lookahead_violations.append((label, delta, lookahead))
+        if self.mode == "windowed" and when < self._local_now[target]:
+            raise CausalityError(
+                f"event {label!r} scheduled at {when} in the past of shard "
+                f"{target} (local clock {self._local_now[target]})"
+            )
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        entry = [when, priority, seq, label, (fn, args), target]
+        if self.mode == "merged":
+            heapq.heappush(self._queue, entry)
+        else:
+            heapq.heappush(self._shard_queues[target], entry)
+        self._live += 1
+        return EventHandle(when, seq, entry, self)
+
+    # ----------------------------------------------------------- execution
+
+    def _dispatch(self, entry: list) -> None:
+        shard = entry[_SHARD]
+        when = entry[_WHEN]
+        self._now = when
+        self._current_shard = shard
+        self.events_by_shard[shard] += 1
+        if self.trace is not None:
+            self.trace.append((when, entry[_LABEL]))
+            self.shard_traces[shard].append((when, entry[_LABEL]))
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.dispatch(when, entry[_LABEL])
+        fn, args = entry[_PAYLOAD]
+        entry[_PAYLOAD] = _FIRED
+        fn(*args)
+
+    def step(self) -> bool:
+        """Fire the single next event (globally earliest live event)."""
+        queue = self._queue if self.mode == "merged" else self._merged_head()
+        while queue:
+            entry = heapq.heappop(queue) if self.mode == "merged" else queue.pop()
+            payload = entry[_PAYLOAD]
+            if payload is None:
+                continue
+            self._live -= 1
+            self._dispatch(entry)
+            return True
+        return False
+
+    def _merged_head(self) -> list:
+        """Windowed mode: the single earliest live entry, as a pop-able list.
+
+        ``step`` needs global order even in windowed mode (the checkpoint
+        pump uses it); a one-element list keeps the two branches uniform.
+        """
+        best = None
+        best_q = None
+        for q in self._shard_queues:
+            while q and q[0][_PAYLOAD] is None:
+                heapq.heappop(q)
+            if q and (best is None or q[0] < best):
+                best = q[0]
+                best_q = q
+        if best is None:
+            return []
+        heapq.heappop(best_q)
+        return [best]
+
+    def run(self, until: float = math.inf,
+            max_events: int = 100_000_000) -> float:
+        """Run to quiescence or ``until`` (inclusive), per the base contract.
+
+        Merged mode replays the sequential engine's exact global order;
+        windowed mode advances shards independently inside conservative
+        ``[floor, floor + lookahead)`` windows.
+        """
+        if self.mode == "merged":
+            return self._run_merged(until, max_events)
+        return self._run_windowed(until, max_events)
+
+    def _run_merged(self, until: float, max_events: int) -> float:
+        queue = self._queue
+        pop = heapq.heappop
+        fired = 0
+        while queue:
+            entry = queue[0]
+            if entry[_PAYLOAD] is None:
+                pop(queue)
+                continue
+            if entry[_WHEN] > until:
+                break
+            if fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+            pop(queue)
+            self._live -= 1
+            self._dispatch(entry)
+            fired += 1
+        if until != math.inf and until > self._now:
+            self._now = until
+        return self._now
+
+    def _run_windowed(self, until: float, max_events: int) -> float:
+        queues = self._shard_queues
+        lookahead = self.plan.lookahead
+        fired = 0
+        while True:
+            floor = None
+            for q in queues:
+                while q and q[0][_PAYLOAD] is None:
+                    heapq.heappop(q)
+                if q and (floor is None or q[0][_WHEN] < floor):
+                    floor = q[0][_WHEN]
+            if floor is None or floor > until:
+                break
+            window_end = floor + lookahead
+            for k, q in enumerate(queues):
+                while q:
+                    entry = q[0]
+                    if entry[_PAYLOAD] is None:
+                        heapq.heappop(q)
+                        continue
+                    when = entry[_WHEN]
+                    if when >= window_end or when > until:
+                        break
+                    if fired >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a livelock"
+                        )
+                    heapq.heappop(q)
+                    self._live -= 1
+                    self._local_now[k] = when
+                    self._dispatch(entry)
+                    fired += 1
+        end = max(self._local_now)
+        if end > self._now:
+            self._now = end
+        if until != math.inf and until > self._now:
+            self._now = until
+        return self._now
+
+    # -------------------------------------------------------------- queries
+
+    def _peek_time(self) -> Optional[float]:
+        if self.mode == "merged":
+            return super()._peek_time()
+        best = None
+        for q in self._shard_queues:
+            while q and q[0][_PAYLOAD] is None:
+                heapq.heappop(q)
+            if q and (best is None or q[0][_WHEN] < best):
+                best = q[0][_WHEN]
+        return best
+
+    def merged_shard_trace(self) -> list[tuple[float, int, str]]:
+        """The per-shard dispatch streams merged into one virtual-time
+        ordering (``(time, shard, label)``), via
+        :func:`repro.obs.export.merge_trace_streams`."""
+        from repro.obs.export import merge_trace_streams
+
+        return merge_trace_streams(self.shard_traces)
+
+
+class _ShardContext:
+    """Re-entrant ``with engine.scheduling_shard(k)`` helper."""
+
+    __slots__ = ("_engine", "_shard", "_prev")
+
+    def __init__(self, engine: ShardedEngine, shard: Optional[int]) -> None:
+        self._engine = engine
+        self._shard = shard
+        self._prev: Optional[int] = None
+
+    def __enter__(self) -> "_ShardContext":
+        self._prev = self._engine._context_shard
+        self._engine._context_shard = self._shard
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._engine._context_shard = self._prev
+
+
+# ===================================================================== #
+#                         process-parallel backend                      #
+# ===================================================================== #
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's world, declared as picklable work (the
+    :class:`~repro.harness.parallel.SweepCell` contract): a module-level
+    builder plus primitive parameters.  The builder runs *inside* the
+    worker process — ``fn(host, *params)`` receives a :class:`ShardHost`
+    and returns a world object exposing ``on_message(payload)`` (inbound
+    cross-shard messages) and optionally ``result()`` (picklable final
+    answer)."""
+
+    fn: Callable[..., Any]
+    params: tuple = ()
+    label: str = ""
+
+    def name(self) -> str:
+        """Human-readable identity used in error messages."""
+        if self.label:
+            return self.label
+        fn_name = getattr(self.fn, "__name__", str(self.fn))
+        return f"{fn_name}{self.params!r}"
+
+
+class ShardHost:
+    """Worker-side container for one shard: an engine, an outbox, and the
+    conservative-send contract (``send`` must respect the lookahead)."""
+
+    def __init__(self, shard_id: int, n_shards: int, lookahead: float,
+                 collect_trace: bool = False) -> None:
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.lookahead = lookahead
+        self.engine = Engine()
+        if collect_trace:
+            self.engine.trace = []
+        self.world: Any = None
+        self.sent_messages = 0
+        self._outbox: list[tuple[float, int, Any]] = []
+
+    # ------------------------------------------------------------ world API
+
+    def send(self, dst_shard: int, payload: Any,
+             delay: Optional[float] = None) -> float:
+        """Emit a cross-shard message arriving ``delay`` seconds from now
+        (default: exactly the lookahead).  Returns the arrival time.
+
+        ``delay`` below the lookahead violates the conservative contract
+        and raises :class:`CausalityError` — the Hypothesis property tests
+        pin this edge.
+        """
+        if not 0 <= dst_shard < self.n_shards:
+            raise ValueError(f"dst_shard {dst_shard} outside "
+                             f"[0, {self.n_shards})")
+        now = self.engine.now
+        delay = self.lookahead if delay is None else delay
+        if delay < self.lookahead - _lookahead_tolerance(now):
+            raise CausalityError(
+                f"shard {self.shard_id} -> {dst_shard}: message delay "
+                f"{delay:.3e}s < lookahead {self.lookahead:.3e}s"
+            )
+        t_recv = now + delay
+        self._outbox.append((t_recv, dst_shard, payload))
+        self.sent_messages += 1
+        return t_recv
+
+    # ------------------------------------------------------- host protocol
+
+    def advance(self, window_end: float,
+                hard_until: float) -> tuple[Optional[float], list]:
+        """Fire every local event strictly before ``window_end`` (and no
+        later than ``hard_until``), then return ``(next_event_time,
+        outbox)``."""
+        engine = self.engine
+        while True:
+            t = engine.next_event_time
+            if t is None or t >= window_end or t > hard_until:
+                break
+            engine.run(until=t)
+        out, self._outbox = self._outbox, []
+        return engine.next_event_time, out
+
+    def inject(self, messages: Sequence[tuple[float, Any]]) -> None:
+        """Schedule inbound cross-shard messages at their arrival times."""
+        for t_recv, payload in messages:
+            self.engine.call_at(t_recv, self.world.on_message, payload,
+                                label="shard:recv")
+
+    def finish(self) -> tuple[Any, float, Optional[list], int]:
+        """``(result, final virtual time, trace, events hint)`` — the
+        picklable end-of-run summary shipped back to the parent."""
+        result = (self.world.result()
+                  if hasattr(self.world, "result") else None)
+        return result, self.engine.now, self.engine.trace, self.sent_messages
+
+
+# --- worker-side entry points (module-level so they pickle by reference) ---
+
+_WORKER_HOSTS: dict[int, ShardHost] = {}
+
+
+def _shard_build(shard_id: int, n_shards: int, lookahead: float,
+                 spec: ShardSpec, collect_trace: bool) -> Optional[float]:
+    host = ShardHost(shard_id, n_shards, lookahead,
+                     collect_trace=collect_trace)
+    host.world = spec.fn(host, *spec.params)
+    _WORKER_HOSTS[shard_id] = host
+    return host.engine.next_event_time
+
+
+def _shard_step(shard_id: int, window_end: float, hard_until: float,
+                inbound: list) -> tuple[Optional[float], list]:
+    host = _WORKER_HOSTS[shard_id]
+    host.inject(inbound)
+    return host.advance(window_end, hard_until)
+
+
+def _shard_finish(shard_id: int):
+    return _WORKER_HOSTS.pop(shard_id).finish()
+
+
+@dataclass
+class ShardedRunResult:
+    """Outcome of one :func:`run_sharded` execution."""
+
+    #: per-shard ``world.result()`` values, in shard order
+    results: list
+    #: final virtual time (max over shards)
+    now: float
+    #: number of conservative windows executed
+    windows: int
+    #: total cross-shard messages routed
+    messages: int
+    #: merged ``(time, shard, label)`` dispatch stream (``collect_traces``)
+    trace: Optional[list] = field(default=None)
+
+
+def run_sharded(
+    specs: Sequence[ShardSpec],
+    lookahead: float,
+    until: float = math.inf,
+    parallel: bool = True,
+    collect_traces: bool = False,
+    max_windows: int = 100_000_000,
+) -> ShardedRunResult:
+    """Run one shard world per OS process under conservative windows.
+
+    Each window: every shard advances (in parallel) to
+    ``min(next event times) + lookahead``, exclusive; the parent routes the
+    emitted cross-shard messages — all of which arrive at or after the
+    window boundary, by the :meth:`ShardHost.send` contract — and the next
+    window begins.  Messages are injected sorted by ``(arrival, source
+    shard, emission index)``, so the run is deterministic regardless of
+    worker scheduling; ``parallel=False`` drives the identical protocol
+    in-process (the differential reference, and the ``jobs=1`` analogue).
+    """
+    from repro.harness.parallel import WorkerPool
+
+    n = len(specs)
+    if n < 1:
+        raise ValueError("run_sharded needs at least one shard")
+    if not lookahead > 0.0:
+        raise ValueError(f"lookahead must be positive, got {lookahead}")
+
+    hosts: list[Optional[ShardHost]] = [None] * n
+    pool: Optional[WorkerPool] = None
+    if parallel and n > 1:
+        pool = WorkerPool(n)
+
+    def build(k: int) -> Optional[float]:
+        if pool is not None:
+            return pool.call(k, _shard_build, k, n, lookahead, specs[k],
+                             collect_traces)
+        host = ShardHost(k, n, lookahead, collect_trace=collect_traces)
+        host.world = specs[k].fn(host, *specs[k].params)
+        hosts[k] = host
+        return host.engine.next_event_time
+
+    def step(k: int, window_end: float,
+             inbound: list) -> tuple[Optional[float], list]:
+        if pool is not None:
+            return pool.call(k, _shard_step, k, window_end, until, inbound)
+        host = hosts[k]
+        host.inject(inbound)
+        return host.advance(window_end, until)
+
+    def finish(k: int):
+        if pool is not None:
+            return pool.call(k, _shard_finish, k)
+        return hosts[k].finish()
+
+    try:
+        if pool is not None:
+            for k in range(n):
+                pool.submit(k, _shard_build, k, n, lookahead, specs[k],
+                            collect_traces)
+            floors = [pool.result(k) for k in range(n)]
+        else:
+            floors = [build(k) for k in range(n)]
+
+        inbound: list[list[tuple[float, int, int, Any]]] = [
+            [] for _ in range(n)
+        ]
+        windows = 0
+        messages = 0
+        while True:
+            candidates = [t for t in floors if t is not None]
+            candidates.extend(t for box in inbound for (t, _s, _i, _p) in box)
+            if not candidates:
+                break
+            floor = min(candidates)
+            if floor > until:
+                break
+            if windows >= max_windows:
+                raise SimulationError(
+                    f"exceeded max_windows={max_windows}; likely a livelock"
+                )
+            window_end = floor + lookahead
+            batches = []
+            for k in range(n):
+                # deterministic injection order: (arrival, src, emission)
+                batch = [(t, payload) for (t, _src, _idx, payload)
+                         in sorted(inbound[k], key=lambda m: m[:3])]
+                inbound[k] = []
+                batches.append(batch)
+            if pool is not None:
+                for k in range(n):
+                    pool.submit(k, _shard_step, k, window_end, until,
+                                batches[k])
+                replies = [pool.result(k) for k in range(n)]
+            else:
+                replies = [step(k, window_end, batches[k])
+                           for k in range(n)]
+            for k, (floor_k, outbox) in enumerate(replies):
+                floors[k] = floor_k
+                for idx, (t_recv, dst, payload) in enumerate(outbox):
+                    inbound[dst].append((t_recv, k, idx, payload))
+                    messages += 1
+            windows += 1
+
+        if pool is not None:
+            for k in range(n):
+                pool.submit(k, _shard_finish, k)
+            finals = [pool.result(k) for k in range(n)]
+        else:
+            finals = [finish(k) for k in range(n)]
+    finally:
+        if pool is not None:
+            pool.close()
+
+    results = [f[0] for f in finals]
+    now = max(f[1] for f in finals)
+    trace = None
+    if collect_traces:
+        from repro.obs.export import merge_trace_streams
+
+        trace = merge_trace_streams([f[2] or [] for f in finals])
+    return ShardedRunResult(results=results, now=now, windows=windows,
+                            messages=messages, trace=trace)
+
+
+# ------------------------------------------------------- reference worlds
+
+class RingWorld:
+    """A self-re-arming timer with a cross-shard token ring: the reference
+    world for the sharded backend (benchmarks, differential tests).
+
+    Each shard fires ``n_events`` local ticks ``tick`` seconds apart and
+    forwards a token to the next shard every ``ping_every`` ticks, at
+    exactly the lookahead.  ``result()`` summarizes fired/sent/received
+    counts and a token checksum, so two runs (or two backends) can be
+    compared for equality.
+    """
+
+    def __init__(self, host: ShardHost, n_events: int, tick: float = 1e-3,
+                 ping_every: int = 64) -> None:
+        self.host = host
+        self.n_events = n_events
+        self.tick = tick
+        self.ping_every = ping_every
+        self.fired = 0
+        self.received = 0
+        self.checksum = 0
+        host.engine.call_after(tick, self._tick, label="ring:tick")
+
+    def _tick(self) -> None:
+        self.fired += 1
+        if self.ping_every and self.fired % self.ping_every == 0:
+            dst = (self.host.shard_id + 1) % self.host.n_shards
+            self.host.send(dst, (self.host.shard_id, self.fired))
+        if self.fired < self.n_events:
+            self.host.engine.call_after(self.tick, self._tick,
+                                        label="ring:tick")
+
+    def on_message(self, payload) -> None:
+        """Fold an inbound ``(src shard, tick index)`` token into the
+        order-sensitive checksum."""
+        src, seq = payload
+        self.received += 1
+        self.checksum = (self.checksum * 1_000_003 + src * 65_537 + seq
+                         ) % (1 << 61)
+
+    def result(self) -> dict:
+        """Picklable summary: fired/received counts, checksum, end time."""
+        return {
+            "shard": self.host.shard_id,
+            "fired": self.fired,
+            "received": self.received,
+            "checksum": self.checksum,
+            "t_end": round(self.host.engine.now, 12),
+        }
+
+
+def ring_specs(n_shards: int, n_events: int, tick: float = 1e-3,
+               ping_every: int = 64) -> list[ShardSpec]:
+    """Shard specs for an ``n_shards``-wide :class:`RingWorld`."""
+    return [
+        ShardSpec(RingWorld, (n_events, tick, ping_every),
+                  label=f"ring:{k}/{n_shards}")
+        for k in range(n_shards)
+    ]

@@ -181,3 +181,84 @@ def test_lulesh_joins_the_mix_at_cube_rank_counts():
     assert effective_ranks("gromacs", 4) == 4
     res = differential_cycle("lulesh", SRC, DST, seed=1)
     assert res.ok, res.divergences
+
+
+# ------------------------------------------------- shard / protocol axes
+
+def test_sharded_cycle_matches_sequential_fingerprint():
+    """shards=2 reruns the identical cycle on merged sharded engines; the
+    restart fingerprint must be bit-identical to the sequential cycle's."""
+    seq = differential_cycle("gromacs", SRC, DST, seed=1)
+    shd = differential_cycle("gromacs", SRC, DST, seed=1, shards=2)
+    assert shd.ok, shd.divergences
+    assert shd.shards == 2 and seq.shards == 1
+    assert shd.fingerprint == seq.fingerprint
+    assert shd.ckpt_time == seq.ckpt_time
+    assert "--shards 2" in shd.repro()
+    assert "--shards" not in seq.repro()
+
+
+def test_shards_both_axis_runs_the_differential():
+    """--shards both doubles every cycle (sequential + 2-shard) and
+    cross-checks the fingerprints; the sweep stays green."""
+    report = run_conformance(tier="quick", seed=0, apps=("gromacs",),
+                             n_sources=1, shards="both", jobs=1)
+    assert report.ok, report.summary()
+    assert report.shards == "both"
+    assert "shards=both" in report.summary()
+    by_shards = {}
+    for r in report.results:
+        by_shards.setdefault((r.pair, r.k), set()).add(r.shards)
+    assert all(s == {1, 2} for s in by_shards.values())
+
+
+def test_alternate_protocol_chains_across_engines():
+    """A chained cycle cut under alg2 -> topo -> alg2: a checkpoint taken
+    by one protocol must restore cleanly under the other, with state and
+    3-segment conservation oracles intact."""
+    res = differential_cycle("gromacs", SRC, DST, seed=4, k=1, chain=True,
+                             protocol="alternate")
+    assert res.ok, res.divergences
+    assert res.protocol == "alternate"
+
+    report = run_conformance(tier="quick", seed=2, apps=("gromacs",),
+                             n_sources=1, ckpts_per_source=2,
+                             protocol="alternate", jobs=1)
+    assert report.ok, report.summary()
+    assert {r.k for r in report.results} == {0, 1}
+
+
+def test_cross_shard_oracle_flags_fingerprint_drift():
+    """The extra oracle behind --shards both: same cycle, different shard
+    counts, different fingerprints => a cross_shard divergence pinned on
+    the sharded run."""
+    from dataclasses import replace
+
+    from repro.conformance.harness import CycleResult, _cross_shard_check
+
+    base = CycleResult(app="gromacs", src=SRC.as_tuple(),
+                       dst=DST.as_tuple(), seed=0, k=0, ckpt_time=0.01,
+                       divergences=(), fingerprint="aaaa", shards=1)
+    agree = _cross_shard_check([base, replace(base, shards=2)])
+    assert all(r.ok for r in agree)
+
+    drifted = _cross_shard_check(
+        [base, replace(base, shards=2, fingerprint="bbbb")])
+    flagged = [r for r in drifted if not r.ok]
+    assert len(flagged) == 1
+    assert flagged[0].shards == 2
+    assert flagged[0].divergences[0].oracle == "cross_shard"
+    # the sequential side stays clean
+    assert next(r for r in drifted if r.shards == 1).ok
+
+
+def test_shards_axis_parsing_and_validation():
+    from repro.conformance.harness import _parse_shards_axis
+
+    assert _parse_shards_axis("both") == (1, 2)
+    assert _parse_shards_axis("2") == (2,)
+    assert _parse_shards_axis(3) == (3,)
+    with pytest.raises(ValueError, match="shards"):
+        _parse_shards_axis("0")
+    with pytest.raises(ValueError, match="unknown protocol"):
+        run_conformance(tier="quick", protocol="nope")

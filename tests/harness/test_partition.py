@@ -1,0 +1,168 @@
+"""Partitioner properties: total node-aligned shard maps, fabric-derived
+lookahead that lower-bounds every cross-shard edge, and the shards=1
+byte-identical contract on a real MANA job."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.partition import (
+    lookahead_for,
+    make_sharded_engine,
+    plan_for_cluster,
+    plan_shards,
+    shard_of_ranks,
+)
+from repro.net.fabrics import INTERCONNECTS
+
+FABRICS = sorted(INTERCONNECTS)
+
+
+@settings(max_examples=60, deadline=None)
+@given(n_nodes=st.integers(1, 64), n_shards=st.integers(1, 16),
+       fabric=st.sampled_from(FABRICS))
+def test_every_node_in_exactly_one_shard(n_nodes, n_shards, fabric):
+    plan = plan_shards(n_nodes, n_shards, fabric)
+    # total map: one shard per node, every shard id used
+    assert plan.n_nodes == n_nodes
+    assert plan.n_shards == min(n_shards, n_nodes)
+    assert set(plan.shard_of_node) == set(range(plan.n_shards))
+    # contiguous balanced blocks (block placement locality)
+    assert list(plan.shard_of_node) == sorted(plan.shard_of_node)
+    counts = Counter(plan.shard_of_node)
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(n_nodes=st.integers(1, 16), n_shards=st.integers(1, 8),
+       ranks_per_node=st.integers(1, 8))
+def test_every_rank_in_exactly_one_shard_and_node_aligned(
+        n_nodes, n_shards, ranks_per_node):
+    plan = plan_shards(n_nodes, n_shards)
+    n_ranks = n_nodes * ranks_per_node
+    placement = [r // ranks_per_node for r in range(n_ranks)]
+    shards = shard_of_ranks(plan, placement)
+    assert len(shards) == n_ranks
+    assert all(0 <= s < plan.n_shards for s in shards)
+    # node alignment: co-resident ranks never straddle shards, so
+    # shared-memory traffic (far below any fabric α) stays shard-local
+    for rank, node in enumerate(placement):
+        assert shards[rank] == plan.shard_of_node[node]
+        assert shards[rank] == plan.shard_of_rank(placement, rank)
+
+
+@given(fabric=st.sampled_from(FABRICS))
+def test_lookahead_is_the_fabric_alpha(fabric):
+    from repro.mana.coordinator import ControlPlaneModel
+
+    lookahead = lookahead_for(fabric)
+    assert lookahead == float(INTERCONNECTS[fabric].alpha) > 0.0
+    # the coordinator's management network is slower than every fabric,
+    # so control edges can never undercut a fabric-derived lookahead
+    assert ControlPlaneModel.latency >= lookahead
+
+
+@settings(max_examples=40, deadline=None)
+@given(fabric=st.sampled_from(FABRICS),
+       factor=st.floats(min_value=1.0, max_value=100.0,
+                        allow_nan=False, allow_infinity=False),
+       start=st.floats(min_value=0.0, max_value=1e6,
+                       allow_nan=False, allow_infinity=False))
+def test_edges_at_or_above_lookahead_always_pass_the_audit(
+        fabric, factor, start):
+    """Any cross-shard edge carrying >= the plan's lookahead is legal, at
+    any magnitude of virtual time (the float-tolerance contract)."""
+    from repro.simtime.sharded import ShardedEngine
+
+    plan = plan_shards(4, 2, fabric)
+    engine = ShardedEngine(plan, mode="merged", start_time=start)
+
+    def hop():
+        engine.call_at(engine.now + plan.lookahead * factor,
+                       lambda: None, label="edge", shard=1)
+
+    engine.call_after(1e-3, hop, label="hop", shard=0)
+    engine.run()
+    assert engine.cross_shard_events == 1
+    assert engine.lookahead_violations == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(fabric=st.sampled_from(FABRICS),
+       factor=st.floats(min_value=0.01, max_value=0.9,
+                        allow_nan=False, allow_infinity=False))
+def test_edges_below_lookahead_always_fail_the_audit(fabric, factor):
+    from repro.simtime.sharded import CausalityError, ShardedEngine
+
+    plan = plan_shards(4, 2, fabric)
+    engine = ShardedEngine(plan, mode="merged")
+
+    def hop():
+        engine.call_after(plan.lookahead * factor, lambda: None,
+                          label="edge", shard=1)
+
+    engine.call_after(1e-3, hop, label="hop", shard=0)
+    with pytest.raises(CausalityError, match="edge"):
+        engine.run()
+
+
+def test_plan_for_cluster_matches_block_plan():
+    from repro.hardware.cluster import make_cluster
+
+    cluster = make_cluster("part-plan", 6, interconnect="infiniband")
+    plan = plan_for_cluster(cluster, 3)
+    assert plan.n_shards == 3
+    assert plan.lookahead == lookahead_for("infiniband")
+    assert plan.shard_of_node == (0, 0, 1, 1, 2, 2)
+
+
+def test_unknown_interconnect_rejected():
+    with pytest.raises(ValueError, match="unknown interconnect"):
+        lookahead_for("carrier-pigeon")
+
+
+def test_make_sharded_engine_degrades_to_plain_engine():
+    from repro.hardware.cluster import make_cluster
+    from repro.simtime import Engine
+    from repro.simtime.sharded import ShardedEngine
+
+    cluster = make_cluster("part-one", 2)
+    for shards in (None, 0, 1):
+        engine = make_sharded_engine(cluster, shards)
+        assert type(engine) is Engine
+    engine = make_sharded_engine(cluster, 2)
+    assert isinstance(engine, ShardedEngine)
+    assert engine.plan.n_shards == 2
+
+
+def _job_trace(shards):
+    from repro.apps import get_app
+    from repro.hardware.cluster import make_cluster
+    from repro.harness.experiments import _launch_mana_app
+
+    spec = get_app("hpcg")
+    cfg = spec.default_config.scaled(n_steps=2)
+    cluster = make_cluster("part-eq", 2, interconnect="aries",
+                           default_mpi="craympich")
+    job = _launch_mana_app(cluster, spec, cfg, n_ranks=4,
+                           ranks_per_node=2, shards=shards)
+    job.engine.trace = []
+    job.run_to_completion()
+    return job
+
+
+def test_sharded_mana_job_byte_identical_to_sequential():
+    """The acceptance criterion: shards=1 is today's engine, and merged
+    shards=2 replays the identical global event stream while proving the
+    world decomposable (edges audited, none below lookahead)."""
+    plain = _job_trace(None)
+    one = _job_trace(1)
+    two = _job_trace(2)
+    assert one.engine.trace == plain.engine.trace
+    assert two.engine.trace == plain.engine.trace
+    assert two.engine.now == plain.engine.now
+    assert two.engine.cross_shard_events > 0
+    assert two.engine.lookahead_violations == []
+    assert sum(two.engine.events_by_shard) == len(two.engine.trace)

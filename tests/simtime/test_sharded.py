@@ -1,0 +1,249 @@
+"""Sharded event engine: determinism, sequential equivalence, and the
+conservative cross-shard causality audit, across all three modes."""
+
+import os
+import time
+
+import pytest
+
+from repro.simtime import Engine
+from repro.simtime.sharded import (
+    CausalityError,
+    RingWorld,
+    ShardedEngine,
+    ShardHost,
+    ShardPlan,
+    ShardSpec,
+    ring_specs,
+    run_sharded,
+)
+
+PLAN = ShardPlan(n_shards=2, shard_of_node=(0, 0, 1, 1), lookahead=1e-3)
+
+
+def _two_chain_workload(engine, n=12):
+    """Two independent tick chains (one per shard) plus cross-shard pings
+    at exactly the lookahead; identical schedule on any engine."""
+    fired = []
+
+    def tick(shard, i):
+        fired.append((round(engine.now, 9), shard, i))
+        if i < n:
+            engine.call_after(0.00025 * (shard + 1), tick, shard, i + 1,
+                              label=f"tick{shard}:{i + 1}", shard=shard)
+        if i == n // 2:
+            other = 1 - shard
+            engine.call_after(PLAN.lookahead, ping, other,
+                              label=f"ping{shard}->{other}", shard=other)
+
+    def ping(shard):
+        fired.append((round(engine.now, 9), shard, "ping"))
+
+    for shard in range(2):
+        with engine.scheduling_shard(shard):
+            engine.call_after(0.00025, tick, shard, 0,
+                              label=f"tick{shard}:0")
+    return fired
+
+
+class TestMergedMode:
+    def test_trace_byte_identical_to_sequential_engine(self):
+        plain = Engine()
+        plain.trace = []
+        fired_plain = _two_chain_workload(plain)
+        plain.run()
+
+        sharded = ShardedEngine(PLAN, mode="merged")
+        sharded.trace = []
+        fired_sharded = _two_chain_workload(sharded)
+        sharded.run()
+
+        assert sharded.trace == plain.trace
+        assert fired_sharded == fired_plain
+        assert sharded.now == plain.now
+
+    def test_events_land_on_their_shards(self):
+        engine = ShardedEngine(PLAN, mode="merged")
+        _two_chain_workload(engine)
+        engine.run()
+        assert engine.events_by_shard[0] > 0
+        assert engine.events_by_shard[1] > 0
+        assert engine.cross_shard_events == 2  # one ping each way
+        assert engine.lookahead_violations == []
+
+    def test_under_lookahead_edge_raises_in_strict_mode(self):
+        engine = ShardedEngine(PLAN, mode="merged")
+
+        def hop():
+            engine.call_after(PLAN.lookahead / 2, lambda: None,
+                              label="short-hop", shard=1)
+
+        engine.call_after(0.001, hop, label="hop", shard=0)
+        with pytest.raises(CausalityError, match="short-hop"):
+            engine.run()
+
+    def test_under_lookahead_edge_recorded_when_not_strict(self):
+        engine = ShardedEngine(PLAN, mode="merged", strict=False)
+
+        def hop():
+            engine.call_after(PLAN.lookahead / 2, lambda: None,
+                              label="short-hop", shard=1)
+
+        engine.call_after(0.001, hop, label="hop", shard=0)
+        engine.run()
+        assert len(engine.lookahead_violations) == 1
+        label, delta, lookahead = engine.lookahead_violations[0]
+        assert label == "short-hop"
+        assert delta < lookahead == PLAN.lookahead
+
+    def test_shard_from_overrides_dispatching_shard(self):
+        """Message provenance beats dispatch context: an edge tagged with
+        its topological source shard is not audited as crossing when the
+        source and target shards agree, whatever shard is executing."""
+        engine = ShardedEngine(PLAN, mode="merged")
+
+        def relay():
+            # dispatching on shard 0, but the edge is shard 1 -> shard 1
+            engine.call_after(1e-6, lambda: None, label="local-on-1",
+                              shard=1, shard_from=1)
+
+        engine.call_after(0.001, relay, label="relay", shard=0)
+        engine.run()
+        assert engine.cross_shard_events == 0
+        assert engine.lookahead_violations == []
+
+    def test_scheduling_shard_context(self):
+        engine = ShardedEngine(PLAN, mode="merged")
+        seen = []
+        with engine.scheduling_shard(1):
+            engine.call_after(0.001,
+                              lambda: seen.append(engine.current_shard),
+                              label="seeded")
+        engine.run()
+        assert seen == [1]
+        assert engine.events_by_shard == [0, 1]
+
+    def test_exact_lookahead_edge_is_not_a_violation(self):
+        """now + α can round a few ulps below α; the audit must tolerate
+        exact-lookahead edges at any magnitude of ``now``."""
+        engine = ShardedEngine(PLAN, mode="merged", start_time=1000.0)
+
+        def hop():
+            engine.call_at(engine.now + PLAN.lookahead, lambda: None,
+                           label="exact-hop", shard=1)
+
+        engine.call_after(0.5, hop, label="hop", shard=0)
+        engine.run()
+        assert engine.lookahead_violations == []
+
+
+class TestWindowedMode:
+    def test_same_per_shard_streams_as_merged(self):
+        merged = ShardedEngine(PLAN, mode="merged")
+        merged.trace = []
+        _two_chain_workload(merged)
+        merged.run()
+
+        windowed = ShardedEngine(PLAN, mode="windowed")
+        windowed.trace = []
+        _two_chain_workload(windowed)
+        windowed.run()
+
+        assert windowed.shard_traces == merged.shard_traces
+        assert windowed.merged_shard_trace() == merged.merged_shard_trace()
+        assert windowed.events_by_shard == merged.events_by_shard
+        assert windowed.now == merged.now
+
+    def test_run_until_respects_bound(self):
+        engine = ShardedEngine(PLAN, mode="windowed")
+        _two_chain_workload(engine, n=40)
+        engine.run(until=0.002)
+        assert engine.now == 0.002
+        assert engine.next_event_time is not None
+
+
+class TestProcessBackend:
+    def test_parallel_matches_in_process_reference(self):
+        specs = ring_specs(2, 400, tick=1e-6, ping_every=50)
+        ref = run_sharded(specs, lookahead=1e-3, parallel=False,
+                          collect_traces=True)
+        par = run_sharded(specs, lookahead=1e-3, parallel=True,
+                          collect_traces=True)
+        assert par.results == ref.results
+        assert par.trace == ref.trace
+        assert (par.windows, par.messages) == (ref.windows, ref.messages)
+        assert par.now == ref.now
+
+    def test_parallel_runs_are_deterministic(self):
+        specs = ring_specs(3, 300, tick=1e-6, ping_every=64)
+        a = run_sharded(specs, lookahead=1e-3)
+        b = run_sharded(specs, lookahead=1e-3)
+        assert a.results == b.results
+        assert a.results[0]["checksum"] == b.results[0]["checksum"]
+
+    def test_all_events_fire_and_tokens_arrive(self):
+        n_events, ping_every = 600, 100
+        out = run_sharded(ring_specs(2, n_events, tick=1e-6,
+                                     ping_every=ping_every),
+                          lookahead=1e-3)
+        assert [r["fired"] for r in out.results] == [n_events, n_events]
+        expected = 2 * (n_events // ping_every)
+        assert out.messages == expected
+        assert sum(r["received"] for r in out.results) == expected
+
+    def test_single_shard_world_runs(self):
+        out = run_sharded(ring_specs(1, 200, tick=1e-6, ping_every=0),
+                          lookahead=1e-3)
+        assert out.results[0]["fired"] == 200
+        assert out.messages == 0
+
+    def test_send_below_lookahead_raises(self):
+        host = ShardHost(0, 2, lookahead=1e-3)
+        host.world = RingWorld(host, n_events=1, ping_every=0)
+        with pytest.raises(CausalityError):
+            host.send(1, ("x",), delay=1e-6)
+
+    def test_worker_error_propagates_and_pool_closes(self):
+        from repro.harness.parallel import CellError
+
+        specs = [ShardSpec(_ExplodingWorld, (), label="boom:0"),
+                 ShardSpec(_ExplodingWorld, (), label="boom:1")]
+        with pytest.raises(CellError, match="deliberate shard failure"):
+            run_sharded(specs, lookahead=1e-3, parallel=True)
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 2,
+                        reason="speedup needs >= 2 cores")
+    def test_parallel_beats_sequential_on_multicore(self):
+        specs = ring_specs(2, 30_000, tick=1e-6, ping_every=500)
+        t0 = time.perf_counter()
+        run_sharded(specs, lookahead=1e-3, parallel=False)
+        seq = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        run_sharded(specs, lookahead=1e-3, parallel=True)
+        par = time.perf_counter() - t0
+        assert par < seq
+
+
+class _ExplodingWorld:
+    def __init__(self, host):
+        raise RuntimeError("deliberate shard failure")
+
+
+class TestShardPlan:
+    def test_rejects_bad_shard_assignment(self):
+        with pytest.raises(ValueError, match="outside"):
+            ShardPlan(n_shards=2, shard_of_node=(0, 2), lookahead=1e-3)
+
+    def test_rejects_nonpositive_lookahead(self):
+        with pytest.raises(ValueError, match="lookahead"):
+            ShardPlan(n_shards=1, shard_of_node=(0,), lookahead=0.0)
+
+    def test_rejects_control_shard_out_of_range(self):
+        with pytest.raises(ValueError, match="control_shard"):
+            ShardPlan(n_shards=2, shard_of_node=(0, 1), lookahead=1e-3,
+                      control_shard=2)
+
+    def test_rank_and_node_lookups(self):
+        assert PLAN.n_nodes == 4
+        assert PLAN.nodes_of(1) == (2, 3)
+        assert PLAN.shard_of_rank([0, 1, 2, 3], 3) == 1
