@@ -22,7 +22,11 @@ is what drives every number in the paper's evaluation:
   latency sweeps (Figures 4 and 5);
 * **NPB-FT** *(extension, not in the paper's evaluation)* — 3-D FFT with
   global all-to-all transposes, the adversarial communication pattern for
-  drain and the two-phase wrapper.
+  drain and the two-phase wrapper;
+* **commchurn** *(extension)* — creates and frees communicators, datatypes
+  and groups every step: the record-replay log grows with runtime while
+  live state stays flat, the adversarial pattern for restart cost that
+  checkpoint-time log compaction targets (docs/record_replay.md).
 
 Every app's numeric state is small real numpy data (so checkpoint-restart
 exactness is machine-checked) while its *modeled* message sizes and memory
@@ -30,6 +34,15 @@ footprint reproduce the paper's (driving all timing and image sizes).
 """
 
 from repro.apps.base import APP_REGISTRY, AppConfig, get_app
-from repro.apps import clamr, gromacs, hpcg, lulesh, minife, npbft, osu  # noqa: F401
+from repro.apps import (  # noqa: F401
+    clamr,
+    commchurn,
+    gromacs,
+    hpcg,
+    lulesh,
+    minife,
+    npbft,
+    osu,
+)
 
 __all__ = ["APP_REGISTRY", "AppConfig", "get_app"]

@@ -58,6 +58,9 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shards", type=int, default=1, metavar="N",
                      help="event shards for the simulation engine (merged "
                           "deterministic mode; docs/performance.md)")
+    run.add_argument("--compact", action="store_true",
+                     help="compact the record-replay log at checkpoint time "
+                          "(docs/record_replay.md)")
     run.add_argument("--out", default=None, metavar="DIR",
                      help="directory to save the checkpoint to")
 
@@ -72,6 +75,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=["alg2", "topo"],
                      help="protocol for any later checkpoints of the "
                           "restarted job")
+    rst.add_argument("--compact", action="store_true",
+                     help="compact the record-replay log in any later "
+                          "checkpoints of the restarted job")
 
     ins = sub.add_parser("inspect", help="describe a saved checkpoint")
     ins.add_argument("--ckpt", required=True, metavar="DIR")
@@ -156,6 +162,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            "sequentially and 2-sharded and cross-checks "
                            "the restart fingerprints (the shard "
                            "differential)")
+    conf.add_argument("--compact", default="off",
+                      choices=["off", "on", "both"],
+                      help="checkpoint-time log-compaction axis; 'both' "
+                           "runs every cycle with and without compaction "
+                           "and cross-checks the restart fingerprints "
+                           "(the compaction differential)")
     conf.add_argument("--report", default=None, metavar="FILE",
                       help="also write the full cycle-by-cycle report as "
                            "JSON (the scheduled-CI artifact)")
@@ -186,6 +198,9 @@ def _build_parser() -> argparse.ArgumentParser:
     fac.add_argument("--shards", type=int, default=1, metavar="N",
                      help="event shards for the facility's shared engine "
                           "(merged deterministic mode)")
+    fac.add_argument("--compact", action="store_true",
+                     help="compact every tenant's record-replay log at "
+                          "induced checkpoints")
     fac.add_argument("--ckpt-interval", type=float, default=None,
                      metavar="T", help="periodic checkpoint interval in "
                                        "virtual seconds (default: off)")
@@ -291,7 +306,8 @@ def cmd_run(args, out) -> int:
 
     job = _launch_mana_app(cluster, spec, cfg, n_ranks, rpn,
                            protocol=args.protocol,
-                           shards=args.shards if args.shards > 1 else None)
+                           shards=args.shards if args.shards > 1 else None,
+                           compact=args.compact)
     if args.checkpoint_at is not None:
         ckpt, report = job.checkpoint_at(args.checkpoint_at)
         print(f"checkpoint at t={args.checkpoint_at}: "
@@ -320,15 +336,17 @@ def cmd_restart(args, out) -> int:
     cluster = _make_cluster(args)
     job = restart(ckpt, cluster, factory, mpi=args.mpi,
                   ranks_per_node=args.ranks_per_node,
-                  protocol=args.protocol)
+                  protocol=args.protocol, compact=args.compact)
     job.run_to_completion()
     rep = job.restart_report
     print(f"restarted {ckpt.n_ranks} ranks from {args.ckpt} on "
           f"{args.nodes} nodes ({job.world.impl.name}/{job.world.fabric.name})",
           file=out)
     print(f"restart: {rep.total_time:.3f} s (read {rep.read_time:.3f} s, "
-          f"replay {rep.replay_time:.4f} s); run finished at "
-          f"{job.engine.now:.4f} s", file=out)
+          f"replay {rep.replay_time:.4f} s, {rep.replayed_entries} entries"
+          + (f" + {rep.restored_bindings} snapshot bindings"
+             if rep.restored_bindings else "")
+          + f"); run finished at {job.engine.now:.4f} s", file=out)
     return 0
 
 
@@ -445,7 +463,7 @@ def cmd_conformance(args, out) -> int:
         n_ranks=args.ranks, n_steps=args.steps,
         n_sources=args.sources, ckpts_per_source=args.ckpts_per_source,
         jobs=args.jobs, only=args.only, protocol=args.protocol,
-        shards=args.shards,
+        shards=args.shards, compact=args.compact,
     )
     print(report.summary(), file=out)
     if args.report:
@@ -481,7 +499,8 @@ def cmd_facility(args, out) -> int:
     fac = Facility(cluster, scheduler=args.policy, seed=args.seed,
                    checkpoint_interval=args.ckpt_interval,
                    protocol=args.protocol,
-                   shards=args.shards if args.shards > 1 else None)
+                   shards=args.shards if args.shards > 1 else None,
+                   compact=args.compact)
     fac.submit_all(generate_jobs(args.mix, args.n_jobs, seed=args.seed))
     rep = fac.run()
     print(rep.summary(), file=out)

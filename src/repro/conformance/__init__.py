@@ -39,6 +39,9 @@ from repro.conformance.oracles import (
     Divergence,
     check_conservation,
     check_golden_state,
+    check_handle_ledger,
+    check_replay_accounting,
+    check_replay_consistency,
     conservation_totals,
     state_fingerprint,
 )
@@ -52,6 +55,9 @@ __all__ = [
     "QUICK_TIER",
     "check_conservation",
     "check_golden_state",
+    "check_handle_ledger",
+    "check_replay_accounting",
+    "check_replay_consistency",
     "cluster_for",
     "conservation_totals",
     "differential_cycle",

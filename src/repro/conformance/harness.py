@@ -39,6 +39,9 @@ from repro.conformance.oracles import (
     Divergence,
     check_conservation,
     check_golden_state,
+    check_handle_ledger,
+    check_replay_accounting,
+    check_replay_consistency,
     conservation_totals,
     state_fingerprint,
 )
@@ -49,10 +52,13 @@ from repro.simtime.rng import RngStreams
 #: home configuration: Cray MPICH on Aries)
 REF_CELL = ConfigCell(mpi="craympich", fabric="aries", ranks_per_node=2)
 
-#: default app mix: a p2p-dense workload, a collective-heavy one, and a
+#: default app mix: a p2p-dense workload, a collective-heavy one, a
 #: rank-count-constrained one (LULESH only runs on cube rank counts — the
-#: non-power-of-two shape the matrix layouts must survive)
-DEFAULT_APPS = ("gromacs", "hpcg", "lulesh")
+#: non-power-of-two shape the matrix layouts must survive), and a
+#: handle-churn one (commchurn creates/frees communicators, datatypes and
+#: groups every step — the adversarial workload for the record-replay path
+#: and the log compactor, docs/record_replay.md)
+DEFAULT_APPS = ("gromacs", "hpcg", "lulesh", "commchurn")
 
 #: checkpoints are fuzzed into this fraction band of the source makespan —
 #: never so early that no state exists, never after the app finished
@@ -139,7 +145,7 @@ def golden_run(app: str, cell: ConfigCell = REF_CELL, n_ranks: int = 4,
 
 def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
                        seed: int, k: int, protocol: str = "alg2",
-                       shards: int = 1):
+                       shards: int = 1, compact: bool = False):
     """(checkpoint set, source-engine totals, ckpt time), memoized.
 
     The checkpoint set is only ever *read* by restarts (the property fig9's
@@ -150,10 +156,12 @@ def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
     ideal differential.  ``shards`` > 1 runs the source job on a sharded
     engine (merged mode) — the engine must be bit-identical, so the shard
     axis gets its own memo slot precisely to *not* share the sequential
-    run's images.
+    run's images.  ``compact`` keys its own slot too: a compacted and a
+    full image of the same instant are *different artifacts*, and the
+    compaction differential depends on restarting both.
     """
     key = ("conformance-src", app, src.as_tuple(), n_ranks, n_steps, seed, k,
-           protocol, shards)
+           protocol, shards, compact)
 
     def compute():
         from repro.harness.experiments import _launch_mana_app
@@ -165,7 +173,8 @@ def _source_checkpoint(app: str, src: ConfigCell, n_ranks: int, n_steps: int,
         cluster = cluster_for(src, n_eff)
         job = _launch_mana_app(cluster, spec, cfg, n_eff,
                                src.ranks_per_node, protocol=protocol,
-                               shards=shards if shards > 1 else None)
+                               shards=shards if shards > 1 else None,
+                               compact=compact)
         ckpt, _report = job.checkpoint_at(t_ckpt)
         return ckpt, conservation_totals(job.engine.metrics), t_ckpt
 
@@ -192,6 +201,10 @@ class CycleResult:
     fingerprint: str = ""
     #: how many event shards the cycle's engines ran on (1 = sequential)
     shards: int = 1
+    #: whether the cycle's checkpoints compacted the record-replay log
+    compact: bool = False
+    #: entries the first restart actually replayed (O(live) when compacted)
+    replayed: int = 0
 
     @property
     def ok(self) -> bool:
@@ -212,6 +225,8 @@ class CycleResult:
                 f"--only '{self.pair}'")
         if self.shards != 1:
             line += f" --shards {self.shards}"
+        if self.compact:
+            line += " --compact on"
         return line
 
 
@@ -234,7 +249,8 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
                        seed: int = 0, k: int = 0,
                        chain: bool = False,
                        protocol: str = "alg2",
-                       shards: int = 1) -> CycleResult:
+                       shards: int = 1,
+                       compact: bool = False) -> CycleResult:
     """Run one golden/checkpoint/restart/oracle cycle and report it.
 
     With ``chain=True`` the cycle becomes a two-hop round trip: checkpoint
@@ -249,6 +265,12 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
     > 1 runs the source and restart jobs on sharded engines — the golden
     stays sequential, so every oracle doubles as a sequential-vs-sharded
     differential.
+
+    ``compact=True`` compacts the record-replay log in every checkpoint of
+    the cycle (docs/record_replay.md); on top of the state/conservation
+    oracles, each image is screened by the replay-consistency oracle (would
+    the compacted logs deadlock at restart?) and the restart by the
+    replay-accounting and handle-ledger oracles.
     """
     from repro.mana.job import restart
 
@@ -270,17 +292,19 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
 
     ckpt, src_totals, t_ckpt = _source_checkpoint(
         app, src, n_ranks, n_steps, seed, k, protocol=proto_cut1,
-        shards=shards,
+        shards=shards, compact=compact,
     )
+    divergences.extend(check_replay_consistency(ckpt))
     n_eff = effective_ranks(app, n_ranks)
     spec, cfg = _app_pieces(app, n_steps)
     job2 = restart(
         ckpt, cluster_for(dst, n_eff), spec.build(cfg),
         mpi=dst.mpi, ranks_per_node=dst.ranks_per_node, protocol=proto_cut2,
-        shards=job_shards,
+        shards=job_shards, compact=compact,
     )
 
     mid_totals = None
+    ckpt2 = None
     final_job = job2
     if chain:
         # drive past the restart read/replay so the second cut lands on a
@@ -294,11 +318,12 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
         job2.run_until(t2)
         if not job2.finished.done:
             ckpt2, _rep2 = job2.checkpoint()
+            divergences.extend(check_replay_consistency(ckpt2))
             mid_totals = conservation_totals(job2.engine.metrics)
             final_job = restart(
                 ckpt2, cluster_for(src, n_eff), spec.build(cfg),
                 mpi=src.mpi, ranks_per_node=src.ranks_per_node,
-                protocol=proto_final, shards=job_shards,
+                protocol=proto_final, shards=job_shards, compact=compact,
             )
         # else: the dst cell outran the fuzzed window — the cycle
         # degenerates to a single hop, which is still a full oracle check
@@ -313,17 +338,25 @@ def differential_cycle(app: str, src: ConfigCell, dst: ConfigCell,
     if mid_totals is not None:
         merged = merged + mid_totals
     divergences.extend(check_conservation(merged, golden=ref.totals))
+    divergences.extend(check_replay_accounting(ckpt, job2.restart_report))
+    if ckpt2 is not None:
+        divergences.extend(
+            check_replay_accounting(ckpt2, final_job.restart_report)
+        )
+    divergences.extend(check_handle_ledger(final_job))
 
     return CycleResult(
         app=app, src=src.as_tuple(), dst=dst.as_tuple(),
         seed=seed, k=k, ckpt_time=t_ckpt, divergences=tuple(divergences),
         protocol=protocol, fingerprint=final_fp, shards=shards,
+        compact=compact, replayed=job2.restart_report.replayed_entries,
     )
 
 
 def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
                 n_steps: int, seed: int, k: int,
-                protocol: str = "alg2", shards: int = 1) -> CycleResult:
+                protocol: str = "alg2", shards: int = 1,
+                compact: bool = False) -> CycleResult:
     """SweepCell entry point: primitives in, picklable CycleResult out.
 
     Cycles beyond the first per source (``k > 0``) run as two-hop chains —
@@ -333,7 +366,7 @@ def _cycle_cell(app: str, src_t: tuple, dst_t: tuple, n_ranks: int,
     return differential_cycle(
         app, ConfigCell.from_tuple(src_t), ConfigCell.from_tuple(dst_t),
         n_ranks=n_ranks, n_steps=n_steps, seed=seed, k=k, chain=k > 0,
-        protocol=protocol, shards=shards,
+        protocol=protocol, shards=shards, compact=compact,
     )
 
 
@@ -353,6 +386,8 @@ class ConformanceReport:
     protocol: str = "alg2"
     #: "1" | "2" | ... | "both" — the sweep's shard axis
     shards: str = "1"
+    #: "off" | "on" | "both" — the sweep's log-compaction axis
+    compact: str = "off"
 
     @property
     def divergent(self) -> list[CycleResult]:
@@ -369,7 +404,8 @@ class ConformanceReport:
         cells = {r.dst for r in self.results} | {r.src for r in self.results}
         lines = [
             f"conformance[{self.tier}] seed={self.seed} "
-            f"protocol={self.protocol} shards={self.shards}: "
+            f"protocol={self.protocol} shards={self.shards} "
+            f"compact={self.compact}: "
             f"{len(self.results)} cycles over {len(cells)} cells "
             f"({len(self.apps)} apps, {self.n_ranks} ranks, "
             f"{self.n_steps} steps) — "
@@ -378,7 +414,8 @@ class ConformanceReport:
         for r in self.divergent:
             lines.append(
                 f"DIVERGENT: {r.app} {r.pair} k{r.k} [{r.protocol}/"
-                f"s{r.shards}] ckpt@{r.ckpt_time:.4f}s"
+                f"s{r.shards}{'/compact' if r.compact else ''}] "
+                f"ckpt@{r.ckpt_time:.4f}s"
             )
             for d in r.divergences:
                 lines.append(f"  {d}")
@@ -395,6 +432,7 @@ class ConformanceReport:
             "apps": list(self.apps),
             "protocol": self.protocol,
             "shards": self.shards,
+            "compact": self.compact,
             "ok": self.ok,
             "cycles": len(self.results),
             "cycle_results": [
@@ -404,6 +442,8 @@ class ConformanceReport:
                     "k": r.k,
                     "protocol": r.protocol,
                     "shards": r.shards,
+                    "compact": r.compact,
+                    "replayed": r.replayed,
                     "ckpt_time": r.ckpt_time,
                     "ok": r.ok,
                     "divergences": [str(d) for d in r.divergences],
@@ -426,11 +466,14 @@ def _cross_protocol_check(results: list) -> list:
     """
     by_cycle: dict[tuple, dict[str, CycleResult]] = {}
     for r in results:
-        by_cycle.setdefault((r.app, r.src, r.dst, r.seed, r.k), {})[
-            r.protocol] = r
+        by_cycle.setdefault(
+            (r.app, r.src, r.dst, r.seed, r.k, r.shards, r.compact), {}
+        )[r.protocol] = r
     out = []
     for r in results:
-        peers = by_cycle[(r.app, r.src, r.dst, r.seed, r.k)]
+        peers = by_cycle[
+            (r.app, r.src, r.dst, r.seed, r.k, r.shards, r.compact)
+        ]
         other = peers.get("alg2" if r.protocol == "topo" else "topo")
         if (other is not None and r.fingerprint and other.fingerprint
                 and r.fingerprint != other.fingerprint):
@@ -456,11 +499,13 @@ def _cross_shard_check(results: list) -> list:
     by_cycle: dict[tuple, dict[int, CycleResult]] = {}
     for r in results:
         by_cycle.setdefault(
-            (r.app, r.src, r.dst, r.seed, r.k, r.protocol), {}
+            (r.app, r.src, r.dst, r.seed, r.k, r.protocol, r.compact), {}
         )[r.shards] = r
     out = []
     for r in results:
-        peers = by_cycle[(r.app, r.src, r.dst, r.seed, r.k, r.protocol)]
+        peers = by_cycle[
+            (r.app, r.src, r.dst, r.seed, r.k, r.protocol, r.compact)
+        ]
         for other_shards, other in sorted(peers.items()):
             if other_shards >= r.shards or not (r.fingerprint
                                                 and other.fingerprint):
@@ -471,6 +516,56 @@ def _cross_shard_check(results: list) -> list:
                     expected=other.fingerprint, actual=r.fingerprint,
                     detail=(f"shards={other.shards} vs shards={r.shards} "
                             "restart fingerprints differ"),
+                )
+                r = replace(r, divergences=r.divergences + (div,))
+        out.append(r)
+    return out
+
+
+def _cross_compact_check(results: list) -> list:
+    """The compaction differential's extra oracle: pair each cycle's
+    full-log and compacted runs and demand bit-identical final
+    fingerprints, *and* that the compacted restart replayed no more
+    entries than the full one.
+
+    The compactor's contract is semantic equivalence — deleting dead
+    handle history must not change a single replayed bit — so any drift
+    between the two variants of one cycle is a divergence even if both
+    still match the golden.  The replay-count comparison is the O(live)
+    claim itself: a "compacted" image that replays as much as the full
+    log means the pass silently kept everything.
+    """
+    by_cycle: dict[tuple, dict[bool, CycleResult]] = {}
+    for r in results:
+        by_cycle.setdefault(
+            (r.app, r.src, r.dst, r.seed, r.k, r.protocol, r.shards), {}
+        )[r.compact] = r
+    out = []
+    for r in results:
+        peers = by_cycle[
+            (r.app, r.src, r.dst, r.seed, r.k, r.protocol, r.shards)
+        ]
+        if r.compact and not peers.get(False):
+            out.append(r)
+            continue
+        if r.compact:
+            full = peers[False]
+            if (r.fingerprint and full.fingerprint
+                    and r.fingerprint != full.fingerprint):
+                div = Divergence(
+                    oracle="cross_compact",
+                    expected=full.fingerprint, actual=r.fingerprint,
+                    detail="full-log vs compacted restart fingerprints "
+                           "differ",
+                )
+                r = replace(r, divergences=r.divergences + (div,))
+            if full.replayed and r.replayed > full.replayed:
+                div = Divergence(
+                    oracle="cross_compact",
+                    expected=f"<= {full.replayed} replayed entries",
+                    actual=r.replayed,
+                    detail="compacted restart replayed more than the "
+                           "full log",
                 )
                 r = replace(r, divergences=r.divergences + (div,))
         out.append(r)
@@ -488,6 +583,20 @@ def _parse_shards_axis(shards) -> tuple[int, ...]:
     return (n,)
 
 
+def _parse_compact_axis(compact) -> tuple[bool, ...]:
+    """``compact`` axis values: ``"off"``, ``"on"``, a bool, or ``"both"``
+    (full + compacted, the CI compaction differential)."""
+    if compact == "both":
+        return (False, True)
+    if compact in ("off", False):
+        return (False,)
+    if compact in ("on", True):
+        return (True,)
+    raise ValueError(
+        f"unknown compact axis {compact!r}: expected 'off', 'on' or 'both'"
+    )
+
+
 def run_conformance(
     tier: str = "quick",
     seed: int = 0,
@@ -500,6 +609,7 @@ def run_conformance(
     only: Optional[str] = None,
     protocol: str = "alg2",
     shards="1",
+    compact="off",
 ) -> ConformanceReport:
     """Sweep the tier's matrix: every app × source cell × *other* cell.
 
@@ -519,6 +629,12 @@ def run_conformance(
     run every cycle at that shard count, ``"both"`` runs each cycle
     sequentially *and* 2-sharded and cross-checks the fingerprints
     (the shard differential — see docs/performance.md).
+
+    ``compact`` selects the log-compaction axis: ``"off"``/``"on"`` run
+    every cycle with the full or the compacted record-replay log,
+    ``"both"`` runs each cycle both ways from the same fuzzed cut time
+    and cross-checks the restart fingerprints and replay counts (the
+    compaction differential — see docs/record_replay.md).
     """
     from repro.mana.protocol import PROTOCOLS
 
@@ -532,6 +648,7 @@ def run_conformance(
             f"{PROTOCOLS + ('both', 'alternate')}"
         )
     shard_counts = _parse_shards_axis(shards)
+    compact_modes = _parse_compact_axis(compact)
     apps = tuple(apps or DEFAULT_APPS)
     dsts = matrix_for(tier)
     srcs = source_cells(dsts, n_sources)
@@ -539,9 +656,9 @@ def run_conformance(
         SweepCell(
             _cycle_cell,
             (app, s.as_tuple(), d.as_tuple(), n_ranks, n_steps, seed, k,
-             proto, n_shards),
+             proto, n_shards, do_compact),
             label=(f"conf:{app}:{s.label}->{d.label}/k{k}/{proto}"
-                   f"/s{n_shards}"),
+                   f"/s{n_shards}" + ("/compact" if do_compact else "")),
         )
         for app in apps
         for s in srcs
@@ -550,6 +667,7 @@ def run_conformance(
         for k in range(ckpts_per_source)
         for proto in protocols
         for n_shards in shard_counts
+        for do_compact in compact_modes
         if only is None or f"{s.label}->{d.label}" == only
     ]
     if not cells:
@@ -562,7 +680,10 @@ def run_conformance(
         results = _cross_protocol_check(results)
     if len(shard_counts) > 1:
         results = _cross_shard_check(results)
+    if len(compact_modes) > 1:
+        results = _cross_compact_check(results)
     return ConformanceReport(
         tier=tier, seed=seed, n_ranks=n_ranks, n_steps=n_steps,
         apps=apps, results=results, protocol=protocol, shards=str(shards),
+        compact=str(compact),
     )

@@ -162,6 +162,108 @@ def check_golden_state(golden_fingerprint: str,
     return None
 
 
+def check_replay_consistency(ckpt) -> list[Divergence]:
+    """Replay-deadlock oracle over a checkpoint set's record-replay logs.
+
+    Unpickles every rank's restore payload and runs the cross-rank
+    collective-consistency check (:func:`repro.mana.log_compaction.
+    check_collective_consistency`) over the logs as they would replay at
+    restart.  A compaction pass that cancelled a collective create on some
+    ranks but not their peers — the failure mode the per-rank cancellation
+    rules are designed to make impossible — lands here as a ``replay_
+    consistency`` divergence instead of a wedged restart.
+    """
+    from repro.mana.log_compaction import check_collective_consistency
+    from repro.mana.record_replay import RecordLog
+
+    logs = []
+    for image in ckpt.images:
+        log = RecordLog()
+        log.restore(image.restore_state()["log"])
+        logs.append(log.entries)
+    stuck = check_collective_consistency(logs, ckpt.n_ranks)
+    return [
+        Divergence(
+            oracle="replay_consistency", expected="all ranks drain",
+            actual=line, detail="record-replay logs would deadlock at restart",
+        )
+        for line in stuck
+    ]
+
+
+def check_replay_accounting(ckpt, report) -> list[Divergence]:
+    """Replay-count oracle: the restart must replay *exactly* the log.
+
+    ``report.replayed_entries`` (summed over ranks) must equal the total
+    number of entries stored in the images — a wedged pump, a skipped
+    entry, or a double replay all break the equality.  When the logs were
+    compacted and retain no free entries (every dead pair cancelled), the
+    same number is the job's live created-handle count: the O(live
+    handles) restart the compactor promises.
+    """
+    from repro.mana.log_compaction import FREE_OPS
+    from repro.mana.record_replay import RecordLog
+
+    entries = frees = 0
+    compacted = True
+    for image in ckpt.images:
+        log = RecordLog()
+        log.restore(image.restore_state()["log"])
+        entries += len(log.entries)
+        frees += sum(1 for e in log.entries if e.op in FREE_OPS)
+        compacted = compacted and log.compaction_stats is not None
+    out = []
+    if report.replayed_entries != entries:
+        out.append(Divergence(
+            oracle="replay_accounting", expected=entries,
+            actual=report.replayed_entries,
+            detail="restart replayed a different entry count than the "
+                   "images hold",
+        ))
+    if compacted and frees == 0 and report.replayed_entries != entries:
+        # redundant with the check above today, but states the contract:
+        # a fully-cancelled compacted log replays one entry per live handle
+        out.append(Divergence(
+            oracle="replay_accounting", expected=entries,
+            actual=report.replayed_entries,
+            detail="compacted restart did not run in O(live handles)",
+        ))
+    return out
+
+
+def check_handle_ledger(job) -> list[Divergence]:
+    """Lower-half leak oracle: the world's handle ledger must agree with
+    the per-rank virtual tables.
+
+    Every live ledger entry (a real communicator or file handle the lower
+    half still holds) must be reachable from some rank's bound virtual
+    handles — a replay path that rebuilds a handle without releasing the
+    old one, or frees the upper-half binding without the lower-half
+    resource, diverges here.
+    """
+    from repro.mana.virtualize import HandleKind
+
+    out = []
+    for kind, hkind in (("comm", HandleKind.COMM), ("file", HandleKind.FILE)):
+        if hkind is HandleKind.FILE:
+            # closed files can stay bound in the table (vid reuse is
+            # illegal); count only the ones still open
+            bound = sum(
+                sum(1 for f in rt.table.bound(hkind).values() if not f.closed)
+                for rt in job.runtimes
+            )
+        else:
+            bound = sum(len(rt.table.bound(hkind)) for rt in job.runtimes)
+        live = job.world.ledger.live(kind)
+        if live != bound:
+            out.append(Divergence(
+                oracle="handle_ledger", expected=bound, actual=live,
+                detail=f"lower-half {kind} handles leaked or double-freed "
+                       f"(ledger vs virtual tables)",
+            ))
+    return out
+
+
 def check_conservation(
     merged: ConservationTotals,
     golden: Optional[ConservationTotals] = None,

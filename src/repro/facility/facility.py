@@ -94,6 +94,7 @@ class Facility:
         stragglers: bool = True,
         protocol: str = "alg2",
         shards: Optional[int] = None,
+        compact: bool = False,
     ) -> None:
         if engine is not None:
             self.engine = engine
@@ -115,6 +116,9 @@ class Facility:
         #: checkpoint protocol engine for induced (preemption/interval)
         #: checkpoints of every tenant (docs/protocols.md)
         self.protocol = protocol
+        #: compact every tenant's record-replay log at checkpoint time
+        #: (docs/record_replay.md)
+        self.compact = compact
         #: shared-backend contention + the storage traffic ledger
         self.arbiter = StorageArbiter(self.engine)
         cluster.storage.arbiter = self.arbiter
@@ -289,14 +293,14 @@ class Facility:
                 slice_cluster, factory, spec.n_ranks, ranks_per_node=None,
                 mpi=spec.mpi, engine=self.engine, app_mem_bytes=app_data,
                 seed=seed, control=self.control, stragglers=self.stragglers,
-                protocol=self.protocol,
+                protocol=self.protocol, compact=self.compact,
             )
         else:
             job = restart(
                 rec.ckpt, slice_cluster, factory, ranks_per_node=None,
                 mpi=spec.mpi, engine=self.engine, seed=seed,
                 control=self.control, stragglers=self.stragglers,
-                protocol=self.protocol,
+                protocol=self.protocol, compact=self.compact,
             )
             rec.restarts += 1
         tenant = _Tenant(record=rec, job=job, nodes=tuple(node_ids),

@@ -39,9 +39,16 @@ Metrics
 * ``ckpt_quiesce_wait_s`` — **simulated** seconds from checkpoint request
   to the start of draining under the topological-sort protocol on a
   collective-heavy HPCG slice, with the Algorithm-2 wait on the same cut
-  alongside (``alg2_s``/``topo_s`` extras).  The one simulated-time metric
-  in this suite: it pins protocol v2's latency claim (one control round,
-  not 2+extra) so the win is measured, not asserted.
+  alongside (``alg2_s``/``topo_s`` extras).  A simulated-time metric: it
+  pins protocol v2's latency claim (one control round, not 2+extra) so
+  the win is measured, not asserted.
+* ``restart_replay_s_vs_log_len`` — **simulated** replay seconds of a
+  compacted restart after 10× communicator churn (``commchurn``), with the
+  base-churn compacted time and both full-log times as extras.  The
+  compaction acceptance criterion in one number: the full log's replay
+  grows with call history (``full_ratio`` ≫ 1) while the compacted
+  restart stays O(live handles) and flat (``compact_ratio`` ≈ 1).  See
+  ``docs/record_replay.md``.
 
 All metrics carry ``higher_is_better`` so a generic threshold check can
 compare any of them; see :func:`compare_bench`.
@@ -72,6 +79,7 @@ CORE_METRICS = (
     "sweep_speedup_j2",
     "facility_makespan_s",
     "ckpt_quiesce_wait_s",
+    "restart_replay_s_vs_log_len",
 )
 
 #: keys :func:`compare_bench` thresholds by default — the wall-clock
@@ -276,6 +284,54 @@ def bench_ckpt_quiesce_wait(n_steps: int = 3) -> dict[str, float]:
     return waits
 
 
+def bench_restart_replay_vs_log_len(n_steps: int = 6) -> dict[str, float]:
+    """Simulated restart-replay time vs record-log length (commchurn).
+
+    Runs the churn-heavy ``commchurn`` app at ``n_steps`` and at
+    ``10 * n_steps``, cuts a checkpoint at 90% of each makespan (so the
+    log holds the full churn history), and restarts each image twice —
+    from the full log and from the compacted one.  Returns per-variant
+    replay times and entry counts plus the two growth ratios; the
+    compacted ratio must stay flat (O(live handles)) while the full one
+    tracks the 10× log growth.
+    """
+    from repro.apps import get_app
+    from repro.hardware.cluster import make_cluster
+    from repro.harness.experiments import _launch_mana_app
+    from repro.mana.job import restart
+
+    spec = get_app("commchurn")
+    out: dict[str, float] = {}
+    for label, steps in (("base", n_steps), ("x10", 10 * n_steps)):
+        cfg = spec.default_config.scaled(n_steps=steps)
+        probe = _launch_mana_app(
+            make_cluster(f"perf-rr-{label}", 2, interconnect="aries",
+                         default_mpi="craympich"),
+            spec, cfg, n_ranks=4, ranks_per_node=2)
+        makespan = probe.run_to_completion()
+        for compact in (False, True):
+            variant = "compact" if compact else "full"
+            cluster = make_cluster(f"perf-rr-{label}-{variant}", 2,
+                                   interconnect="aries",
+                                   default_mpi="craympich")
+            job = _launch_mana_app(cluster, spec, cfg, n_ranks=4,
+                                   ranks_per_node=2, compact=compact)
+            ckpt, _report = job.checkpoint_at(0.9 * makespan)
+            job2 = restart(
+                ckpt,
+                make_cluster(f"perf-rr-{label}-{variant}-dst", 2,
+                             interconnect="aries", default_mpi="craympich"),
+                spec.build(cfg), ranks_per_node=2)
+            job2.run_to_completion()
+            rep = job2.restart_report
+            out[f"{variant}_{label}_s"] = rep.replay_time
+            out[f"{variant}_{label}_entries"] = float(rep.replayed_entries)
+    out["compact_ratio"] = out["compact_x10_s"] / max(out["compact_base_s"],
+                                                      1e-12)
+    out["full_ratio"] = out["full_x10_s"] / max(out["full_base_s"], 1e-12)
+    return out
+
+
 # ------------------------------------------------------------------ suite
 
 def _metric(value: float, unit: str, higher_is_better: bool,
@@ -335,6 +391,12 @@ def run_suite(quick: bool = False, jobs: Optional[int] = None,
     qw = bench_ckpt_quiesce_wait(2 if quick else 3)
     say(f"  alg2 {qw['alg2_s'] * 1e3:.2f} ms, topo {qw['topo_s'] * 1e3:.2f} ms")
 
+    say("restart replay vs log length (compacted vs full)...")
+    rr = bench_restart_replay_vs_log_len(3 if quick else 6)
+    say(f"  compact {rr['compact_base_s'] * 1e3:.2f} -> "
+        f"{rr['compact_x10_s'] * 1e3:.2f} ms across 10x churn "
+        f"(full {rr['full_ratio']:.1f}x)")
+
     return {
         "schema": BENCH_SCHEMA,
         "quick": quick,
@@ -371,6 +433,18 @@ def run_suite(quick: bool = False, jobs: Optional[int] = None,
             "ckpt_quiesce_wait_s": _metric(
                 qw["topo_s"], "s", False,
                 alg2_s=qw["alg2_s"], topo_s=qw["topo_s"],
+                # simulated time, not wall time: deterministic per seed
+                simulated=True,
+            ),
+            "restart_replay_s_vs_log_len": _metric(
+                rr["compact_x10_s"], "s", False,
+                compact_base_s=rr["compact_base_s"],
+                full_base_s=rr["full_base_s"],
+                full_x10_s=rr["full_x10_s"],
+                compact_entries_x10=int(rr["compact_x10_entries"]),
+                full_entries_x10=int(rr["full_x10_entries"]),
+                compact_ratio=rr["compact_ratio"],
+                full_ratio=rr["full_ratio"],
                 # simulated time, not wall time: deterministic per seed
                 simulated=True,
             ),

@@ -42,12 +42,21 @@ ProgramFactory = Callable[[int, int], Program]
 
 @dataclass
 class RestartReport:
-    """Timing breakdown of one restart (Fig. 7)."""
+    """Timing breakdown of one restart (Fig. 7).
+
+    ``replayed_entries`` counts log entries actually re-executed across all
+    ranks; ``restored_bindings`` counts live local handles (datatypes,
+    groups) restored by direct table binding instead — the compacted-log
+    fast path (docs/record_replay.md).  Both are 0 on reports produced
+    before these fields existed.
+    """
 
     total_time: float
     read_time: float
     replay_time: float
     init_time: float
+    replayed_entries: int = 0
+    restored_bindings: int = 0
 
 
 class ManaJob:
@@ -165,6 +174,12 @@ class ManaJob:
         report.ckpt_set.meta["taken_at"] = self.engine.now
         report.ckpt_set.meta["source_cluster"] = self.cluster.name
         report.ckpt_set.meta["source_mpi"] = self.world.impl.name
+        stats = [rt.last_compaction for rt in self.runtimes]
+        if all(s is not None for s in stats):
+            # summed across ranks; per-rank stats live in each image's log
+            report.ckpt_set.meta["log_compaction"] = {
+                key: sum(s[key] for s in stats) for key in stats[0]
+            }
         return report.ckpt_set, report
 
     def checkpoint_at(self, t: float) -> tuple[CheckpointSet, CheckpointReport]:
@@ -180,6 +195,7 @@ def _build_runtimes(
     program_factory: ProgramFactory,
     app_mem_bytes: Union[int, Callable[[int], int]],
     states: Optional[list[ProgramState]] = None,
+    compact: bool = False,
 ) -> list[ManaRankRuntime]:
     n_ranks = world.size
     n_nodes = len(set(world.placement))
@@ -202,6 +218,7 @@ def _build_runtimes(
             program_factory(rank, n_ranks),
             state=states[rank] if states else None,
             core_speed=node.core_speed,
+            compact=compact,
         )
         runtimes.append(rt)
     return runtimes
@@ -237,6 +254,7 @@ def launch_mana(
     stragglers: bool = True,
     protocol: str = "alg2",
     shards: Optional[int] = None,
+    compact: bool = False,
 ) -> ManaJob:
     """Launch a program under MANA on ``cluster``.  Does not start the
     drivers — call :meth:`ManaJob.start` (so tests can instrument first).
@@ -245,11 +263,14 @@ def launch_mana(
     ``"topo"``; see docs/protocols.md).  ``shards`` > 1 builds the job on
     a :class:`~repro.simtime.sharded.ShardedEngine` partitioned per
     :func:`repro.harness.partition.plan_for_cluster` (only when ``engine``
-    is not supplied); ``None``/1 keeps the plain sequential engine."""
+    is not supplied); ``None``/1 keeps the plain sequential engine.
+    ``compact=True`` compacts each rank's record log at checkpoint time so
+    restart replay cost tracks live handles (docs/record_replay.md)."""
     engine = _engine_for(engine, cluster, shards)
     world = launch(engine, cluster, n_ranks, ranks_per_node=ranks_per_node, mpi=mpi)
     runtimes = _build_runtimes(
-        engine, cluster, world, program_factory, app_mem_bytes
+        engine, cluster, world, program_factory, app_mem_bytes,
+        compact=compact,
     )
     rng = np.random.default_rng(seed) if stragglers else None
     coordinator = Coordinator(
@@ -274,6 +295,7 @@ def restart(
     stragglers: bool = True,
     protocol: str = "alg2",
     shards: Optional[int] = None,
+    compact: bool = False,
 ) -> ManaJob:
     """Restart a checkpointed job on ``cluster`` — any implementation, any
     interconnect, any rank layout.  Returns a job whose drivers resume once
@@ -281,6 +303,8 @@ def restart(
     job's fresh engine); ``job.restart_report`` is filled in at that point.
     ``shards`` works as in :func:`launch_mana` (the restart cluster's own
     partition — a restart may change shard count like anything else).
+    ``compact`` governs *future* checkpoints of the restarted job; whether
+    the image being restored was compacted is a property of the image.
     """
     engine = _engine_for(engine, cluster, shards)
     n_ranks = ckpt.n_ranks
@@ -293,7 +317,8 @@ def restart(
         return 16 * MB
 
     runtimes = _build_runtimes(
-        engine, cluster, world, program_factory, mem_for
+        engine, cluster, world, program_factory, mem_for,
+        compact=compact,
     )
     rng = np.random.default_rng(seed) if stragglers else None
     coordinator = Coordinator(
@@ -327,8 +352,22 @@ def restart(
                      else plan.shard_of_rank(placement, rank))
             with engine.scheduling_shard(shard):
                 rp.start()
+        def surface(value) -> None:
+            # A failed replay resolves its `finished` with a ReplayError;
+            # peers blocked in replay collectives would wait forever, so
+            # raise the typed error out of the engine run immediately.
+            if isinstance(value, Exception):
+                raise value
+
+        for rp in replays:
+            rp.finished.on_done(surface)
 
         def resume_all(_values) -> None:
+            errors = [rp.error for rp in replays if rp.error is not None]
+            if errors:
+                # A corrupted log fails the restart cleanly (typed error
+                # out of the engine run) instead of hanging mid-replay.
+                raise errors[0]
             replay_time = engine.now - replay_start
             # total is *elapsed* restart time — on a shared multi-tenant
             # engine the clock does not start at 0 when the restart begins
@@ -337,6 +376,8 @@ def restart(
                 read_time=t_read,
                 replay_time=replay_time,
                 init_time=t_init,
+                replayed_entries=sum(rp.replayed for rp in replays),
+                restored_bindings=sum(rp.restored_bindings for rp in replays),
             )
             for rt in runtimes:
                 rt.finish_restore()

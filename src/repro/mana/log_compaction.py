@@ -1,0 +1,355 @@
+"""Checkpoint-time compaction of the record-replay log.
+
+MANA's record log grows with *call history*: a job that churns
+communicators, datatypes or files for a month replays every one of those
+calls at restart, even though almost all of them created handles that were
+freed long ago.  The implementation-oblivious line of work (PAPERS.md,
+arXiv:2309.14996) prunes the log at checkpoint time so restart cost tracks
+*live* handles instead.  This module is that pass.
+
+Three mechanisms, applied per rank over the rank-local log:
+
+**Dead-handle elimination.**  A create whose result handle was freed again
+before the checkpoint — and whose handle is not referenced by any entry the
+compactor keeps — cancels together with its free.  Liveness flows backward
+through the handle-dependency DAG: a kept entry pins the creates of every
+virtual id it references (a live sub-sub-communicator pins its parent's
+split, which pins the grandparent's dup, ...).
+
+**Cross-rank-consistent collective cancellation.**  Communicator-management
+entries are genuine collectives at replay: every member of the parent
+communicator must replay the entry or none may, or the survivors block in
+:meth:`~repro.mpilib.world.MpiWorld.collective_arrive` forever.  Each rank
+compacts alone, so cancellation is restricted to predicates that are
+provably *symmetric* across the participants under MPI semantics (frees of
+collectively-created handles are themselves collective, MPI-2.2 §6.4.3):
+
+* ``comm_dup`` / ``cart_create`` / ``graph_create`` / ``file_open``
+  preserve the parent's membership — every participant holds a pair-freed
+  create exactly when this rank does, so a pair-freed, unreferenced entry
+  cancels everywhere.
+* ``comm_split`` cancels only when the *recorded result membership* equals
+  the parent's membership (single colour, nobody undefined): then the
+  participant set saw identical histories.  Proper-subset splits and
+  non-member entries (``result_vid is None``) are always kept — the
+  non-members cannot observe the members' liveness, so nobody cancels.
+* ``comm_create`` cancels only when the recorded target group equals the
+  parent's membership, by the same argument.
+
+Membership is tracked symbolically while walking the log (the world
+communicator seeds it; results inherit or record their groups), and the
+:func:`check_collective_consistency` oracle re-derives the global replay
+schedule from all ranks' compacted logs to verify that no rank is left
+waiting on a cancelled participant — the conformance harness runs it on
+every compacted checkpoint.
+
+**Local-entry elision (the snapshot fast path).**  Datatype and
+group-algebra entries are local in MPI: nothing in a kept collective entry
+ever references them (``comm_create`` records resolved world ranks, not
+group vids), so *all* of them leave the log.  Live GROUP/DATATYPE handles
+are instead captured as value snapshots straight from the virtual-handle
+table (a group is its world-rank tuple, a datatype its constructor recipe)
+and restored by direct table binding at replay start — no re-execution,
+and dead chains of ``group_incl``/``group_union``/... vanish entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.mana.virtualize import VCOMM_WORLD, HandleKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (record_replay imports us)
+    from repro.mana.record_replay import LogEntry
+
+
+#: Collective creates: replaying one is a real collective over the parent
+#: communicator's membership in the fresh lower half.
+COLLECTIVE_CREATE_OPS = frozenset({
+    "comm_dup", "comm_split", "comm_create", "cart_create", "graph_create",
+    "file_open",
+})
+
+#: Collective creates that provably preserve the parent's membership (and
+#: whose frees are collective over that same membership): pair-freed,
+#: unreferenced instances cancel symmetrically on every participant.
+_MEMBERSHIP_PRESERVING = frozenset({
+    "comm_dup", "cart_create", "graph_create", "file_open",
+})
+
+#: Purely local creates: elided wholesale by the snapshot fast path.
+LOCAL_CREATE_OPS = frozenset({
+    "type_create", "comm_group", "group_incl", "group_excl",
+    "group_union", "group_intersection",
+})
+
+#: Free/retire ops, with the handle namespace they operate on.  A free's
+#: keep/cancel decision is always the same as its create's.
+FREE_OPS = {
+    "comm_free": HandleKind.COMM,
+    "file_close": HandleKind.FILE,
+    "group_free": HandleKind.GROUP,
+    "type_free": HandleKind.DATATYPE,
+}
+
+
+def entry_refs(entry: "LogEntry") -> tuple:
+    """(kind, vid) pairs this entry's replay resolves (excluding its result)."""
+    op = entry.op
+    if op in ("comm_dup", "comm_group", "comm_split", "comm_create",
+              "cart_create", "graph_create", "file_open"):
+        return ((HandleKind.COMM, entry.args[0]),)
+    if op in ("group_incl", "group_excl"):
+        return ((HandleKind.GROUP, entry.args[0]),)
+    if op in ("group_union", "group_intersection"):
+        return ((HandleKind.GROUP, entry.args[0]),
+                (HandleKind.GROUP, entry.args[1]))
+    if op in FREE_OPS:
+        return ((FREE_OPS[op], entry.args[0]),)
+    return ()
+
+
+@dataclass
+class CompactionStats:
+    """What one rank's compaction pass did (stored in the image)."""
+
+    examined: int = 0
+    kept: int = 0
+    #: create+free pairs of collective handles cancelled together
+    cancelled_pairs: int = 0
+    #: local (datatype / group-algebra) entries elided by the fast path
+    elided_local: int = 0
+    #: live GROUP/DATATYPE handles captured as direct table bindings
+    snapshot_bindings: int = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form, as stored in the checkpoint image."""
+        return {
+            "examined": self.examined,
+            "kept": self.kept,
+            "cancelled_pairs": self.cancelled_pairs,
+            "elided_local": self.elided_local,
+            "snapshot_bindings": self.snapshot_bindings,
+        }
+
+
+@dataclass
+class CompactionResult:
+    """Kept entries (original order preserved) plus the pass statistics."""
+
+    entries: list = field(default_factory=list)
+    stats: CompactionStats = field(default_factory=CompactionStats)
+
+
+def comm_membership(entries: list, n_ranks: Optional[int]) -> dict:
+    """Symbolic comm-vid -> frozenset(world ranks), walking the log forward.
+
+    ``None`` values mean *unknown* (an old-shape image without recorded
+    result groups); unknown membership disables every cancellation that
+    needs it — correctness degrades to keeping more, never to pruning more.
+    """
+    members: dict = {
+        VCOMM_WORLD: frozenset(range(n_ranks)) if n_ranks else None,
+    }
+    for e in entries:
+        if e.op not in COLLECTIVE_CREATE_OPS or e.op == "file_open":
+            continue
+        if e.result_vid is None:
+            continue
+        group = getattr(e, "group", None)
+        if group is not None:
+            members[e.result_vid] = frozenset(group)
+        elif e.op == "comm_create":
+            members[e.result_vid] = frozenset(e.args[1])
+        elif e.op in ("comm_dup", "cart_create", "graph_create"):
+            members[e.result_vid] = members.get(e.args[0])
+        else:  # comm_split from an old image: membership unrecorded
+            members[e.result_vid] = None
+    return members
+
+
+def _cancellable(entry: "LogEntry", members: dict) -> bool:
+    """May this dead, unreferenced, pair-freed collective create cancel?
+
+    Only when every replay participant provably reaches the same decision
+    from its own rank-local log (see the module docstring).
+    """
+    op = entry.op
+    if op in _MEMBERSHIP_PRESERVING:
+        return True
+    parent = members.get(entry.args[0])
+    if parent is None:
+        return False
+    if op == "comm_split":
+        result = members.get(entry.result_vid)
+        return result is not None and result == parent
+    if op == "comm_create":
+        return frozenset(entry.args[1]) == parent
+    return False
+
+
+def compact_log(
+    entries: list,
+    live: dict,
+    n_ranks: Optional[int] = None,
+) -> CompactionResult:
+    """One rank's compaction pass.
+
+    ``entries`` is the full recorded log; ``live`` maps each
+    :class:`HandleKind` to the set of virtual ids still bound when the
+    image is cut (the virtual-handle table's bound sets).  Entries are only
+    ever *deleted*, never reordered — replay's collective-matching order is
+    exactly the surviving subsequence.
+    """
+    stats = CompactionStats(examined=len(entries))
+    created_at: dict = {}
+    freed_at: dict = {}
+    for i, e in enumerate(entries):
+        if e.op in FREE_OPS:
+            freed_at[(FREE_OPS[e.op], e.args[0])] = i
+        elif e.result_vid is not None:
+            created_at[(e.result_kind, e.result_vid)] = i
+
+    members = comm_membership(entries, n_ranks)
+    live_set = {
+        (kind, vid) for kind, vids in live.items() for vid in vids
+    }
+
+    keep = [False] * len(entries)
+    needed: set = set()
+
+    def pin(e: "LogEntry") -> None:
+        for ref in entry_refs(e):
+            needed.add(ref)
+
+    # Reverse walk: every reference points backward (vids are minted in
+    # order), so by the time a create is visited every entry that could
+    # reference it has already been decided.
+    for i in range(len(entries) - 1, -1, -1):
+        e = entries[i]
+        if e.op in FREE_OPS:
+            continue  # a free's fate is decided with its create, below
+        if e.op in LOCAL_CREATE_OPS:
+            continue  # elided: the snapshot fast path restores live ones
+        if e.op in COLLECTIVE_CREATE_OPS:
+            if e.result_vid is None:
+                # Non-member participation (comm_split undefined colour,
+                # comm_create outsider): always kept, so member ranks —
+                # which cannot see our liveness — keep theirs too.
+                keep[i] = True
+                pin(e)
+                continue
+            key = (e.result_kind, e.result_vid)
+            free_idx = freed_at.get(key)
+            if key in live_set or key in needed:
+                keep[i] = True
+                if free_idx is not None:
+                    # Kept only as a dependency: replay must still retire
+                    # the vid so the table converges to the snapshot.
+                    keep[free_idx] = True
+                pin(e)
+            elif free_idx is not None and _cancellable(e, members):
+                stats.cancelled_pairs += 1
+            else:
+                keep[i] = True
+                if free_idx is not None:
+                    keep[free_idx] = True
+                pin(e)
+            continue
+        # Unknown op: keep conservatively (forward compatibility).
+        keep[i] = True
+        pin(e)
+
+    kept_entries = [e for i, e in enumerate(entries) if keep[i]]
+    stats.kept = len(kept_entries)
+    stats.elided_local = sum(
+        1 for i, e in enumerate(entries)
+        if not keep[i]
+        and (e.op in LOCAL_CREATE_OPS
+             or (e.op in FREE_OPS
+                 and FREE_OPS[e.op] in (HandleKind.GROUP,
+                                        HandleKind.DATATYPE)))
+    )
+    return CompactionResult(entries=kept_entries, stats=stats)
+
+
+# --------------------------------------------------------------- oracle
+
+def check_collective_consistency(
+    logs: list, n_ranks: int
+) -> list[str]:
+    """Verify that all ranks' (compacted) logs admit a deadlock-free replay.
+
+    Re-derives the global collective schedule: repeatedly finds a
+    communicator-management instance whose *every* participant has it as
+    their next collective entry, and advances them together — exactly what
+    :meth:`MpiWorld.collective_arrive` requires at replay.  If no instance
+    can advance while entries remain, some rank cancelled an entry its
+    peers kept (or vice versa); the stuck ranks are reported.
+
+    Returns a list of human-readable problems (empty = consistent).
+    """
+    queues = [
+        [e for e in log if e.op in COLLECTIVE_CREATE_OPS] for log in logs
+    ]
+    ptr = [0] * len(logs)
+    gid: list[dict] = [{VCOMM_WORLD: ("W",)} for _ in logs]
+    members_of: dict = {("W",): frozenset(range(n_ranks))}
+    seq: dict = {}
+
+    def advance_instance(r: int) -> bool:
+        e = queues[r][ptr[r]]
+        pg = gid[r].get(e.args[0])
+        if pg is None:
+            return False  # parent never materialized here: stuck
+        part = members_of.get(pg)
+        if part is None:
+            # Membership unknown (old image): unverifiable — advance this
+            # rank alone rather than report a false deadlock.
+            ptr[r] += 1
+            return True
+        for q in part:
+            if ptr[q] >= len(queues[q]):
+                return False
+            eq = queues[q][ptr[q]]
+            if eq.op != e.op or gid[q].get(eq.args[0]) != pg:
+                return False
+        k = seq.get((pg, e.op), 0)
+        seq[(pg, e.op)] = k + 1
+        for q in part:
+            eq = queues[q][ptr[q]]
+            if eq.result_vid is not None and eq.result_kind is HandleKind.COMM:
+                if e.op == "comm_split":
+                    child = (pg, "split", k, eq.args[1])
+                else:
+                    child = (pg, e.op, k)
+                gid[q][eq.result_vid] = child
+                group = getattr(eq, "group", None)
+                if group is not None:
+                    members_of[child] = frozenset(group)
+                elif e.op in ("comm_dup", "cart_create", "graph_create"):
+                    members_of[child] = part
+                elif e.op == "comm_create":
+                    members_of[child] = frozenset(eq.args[1])
+            ptr[q] += 1
+        return True
+
+    progress = True
+    while progress:
+        progress = False
+        for r in range(len(logs)):
+            if ptr[r] < len(queues[r]) and advance_instance(r):
+                progress = True
+                break
+
+    problems = []
+    for r in range(len(logs)):
+        if ptr[r] < len(queues[r]):
+            e = queues[r][ptr[r]]
+            problems.append(
+                f"rank {r} stuck at collective entry {ptr[r]} "
+                f"({e.op} on comm vid {e.args[0]}): some participant "
+                "pruned it or never reaches it"
+            )
+    return problems

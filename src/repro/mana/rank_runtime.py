@@ -232,6 +232,7 @@ class ManaRankRuntime:
         program: Program,
         state: Optional[ProgramState] = None,
         core_speed: float = 1.0,
+        compact: bool = False,
     ) -> None:
         self.engine = engine
         self.rank = rank
@@ -239,6 +240,10 @@ class ManaRankRuntime:
         self.proc = proc
         self.endpoint = endpoint
         self.program = program
+        #: compact the record log at checkpoint time (docs/record_replay.md)
+        self.compact = compact
+        #: stats dict of the most recent checkpoint's compaction pass
+        self.last_compaction: Optional[dict] = None
         #: False once the rank's node crashed: the helper thread is gone (it
         #: stops answering the coordinator and the failure detector) and the
         #: driver is dead.  Set by :meth:`kill`.
@@ -728,13 +733,18 @@ class ManaRankRuntime:
 
     def capture_state(self) -> dict:
         """The picklable restore payload (everything upper-half)."""
+        log_snap = self.log.snapshot(compact=self.compact, table=self.table,
+                                     n_ranks=self.n_ranks)
+        self.last_compaction = (
+            log_snap.get("stats") if isinstance(log_snap, dict) else None
+        )
         return {
             "interp": self.driver.interp.snapshot(),
             "app_state": dict(self.driver.interp.state),
             "heap": self.proc.heap.snapshot_payload(),
             "counters": self.counters.snapshot(),
             "buffer": self.buffer.snapshot(),
-            "log": self.log.snapshot(),
+            "log": log_snap,
             "table": self.table.snapshot(),
             "icolls": [rec.snapshot() for rec in self.icolls.values()],
             "icoll_ids": self._icoll_ids,

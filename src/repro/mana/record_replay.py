@@ -9,6 +9,12 @@ datatype-shaping calls it made, with every handle argument expressed as a
 half: communicator-management entries are genuine collectives in the new
 MPI library, so all ranks replay concurrently and their calls match exactly
 as the originals did.
+
+At checkpoint time the log can be *compacted* (``snapshot(compact=True)``,
+see :mod:`repro.mana.log_compaction` and docs/record_replay.md): dead
+create/free pairs cancel, and purely local entries (datatypes, group
+algebra) are replaced by direct value bindings restored at replay start —
+restart cost then tracks live handles, not call history.
 """
 
 from __future__ import annotations
@@ -22,6 +28,14 @@ from repro.mpilib.datatypes import rebuild as rebuild_datatype
 from repro.simtime import Completion, Engine
 
 
+class ReplayError(RuntimeError):
+    """A replay log that cannot be executed (corrupt, truncated, or from a
+    future format).  Raised synchronously by :meth:`ReplayEngine.start` when
+    the damage is visible up front, and otherwise delivered by resolving
+    :attr:`ReplayEngine.finished` with the error instance — the engine never
+    wedges with ``finished`` unresolved."""
+
+
 @dataclass(frozen=True)
 class LogEntry:
     """One recorded persistent call.
@@ -31,35 +45,133 @@ class LogEntry:
     call produced (None for frees and for non-member comm_create/split
     results); ``result_kind`` is the handle namespace that id lives in, so
     replay rebinds into the right table even for non-comm results.
+
+    ``group`` records the result communicator's membership (world ranks)
+    for communicator-producing collectives.  Replay never needs it — the
+    fresh collective recomputes the membership — but checkpoint-time
+    compaction does: a ``comm_split`` may only cancel when its recorded
+    result membership equals the parent's (see
+    :mod:`repro.mana.log_compaction`).  ``None`` on non-comm entries and on
+    entries restored from images that predate the field.
     """
 
     op: str
     args: tuple
     result_vid: Optional[int]
     result_kind: HandleKind = HandleKind.COMM
+    group: Optional[tuple] = None
+
+
+def _normalize_entry(e: Any) -> LogEntry:
+    """Back-compat shim for entries restored from older images.
+
+    * ``type_create`` used to carry the vid redundantly in ``args`` next to
+      ``result_vid``; ``result_vid``/``result_kind`` are now the single
+      source of truth and the args shrink to ``(recipe,)``.
+    * ``group`` did not exist; unpickled old entries simply lack the
+      attribute (frozen dataclasses restore their ``__dict__`` verbatim).
+    """
+    args = e.args
+    if e.op == "type_create" and len(args) == 2:
+        args = (args[0],)
+    return LogEntry(e.op, args, e.result_vid, e.result_kind,
+                    getattr(e, "group", None))
 
 
 class RecordLog:
-    """Ordered per-rank log of persistent calls."""
+    """Ordered per-rank log of persistent calls.
+
+    ``local_bindings`` holds value snapshots of live local handles (groups
+    as world-rank tuples, datatypes as constructor recipes) restored by
+    direct table binding instead of replay.  It is populated by a
+    ``compact=True`` snapshot and carried forward by later snapshots, since
+    the corresponding create entries are gone from ``entries`` for good.
+    """
 
     def __init__(self) -> None:
         self.entries: list[LogEntry] = []
+        #: kind name -> {vid -> ("group", ranks) | ("datatype", recipe)}
+        self.local_bindings: dict[str, dict[int, tuple]] = {}
+        #: stats of the compaction pass that produced this log (if any)
+        self.compaction_stats: Optional[dict] = None
 
     def record(self, op: str, args: tuple, result_vid: Optional[int],
-               result_kind: HandleKind = HandleKind.COMM) -> None:
+               result_kind: HandleKind = HandleKind.COMM,
+               group: Optional[tuple] = None) -> None:
         """Append one persistent-call entry."""
-        self.entries.append(LogEntry(op, tuple(args), result_vid, result_kind))
+        self.entries.append(
+            LogEntry(op, tuple(args), result_vid, result_kind, group)
+        )
 
     def __len__(self) -> int:
         return len(self.entries)
 
-    def snapshot(self) -> list[LogEntry]:
-        """Picklable representation for the checkpoint image."""
-        return list(self.entries)
+    # ---------------------------------------------------------- snapshot
 
-    def restore(self, entries: list[LogEntry]) -> None:
-        """Install state captured by :meth:`snapshot`."""
-        self.entries = list(entries)
+    @staticmethod
+    def _local_payloads(table: VirtualHandleTable) -> dict:
+        """Value snapshots of every live local handle, straight from the
+        table: these restore by direct binding, no replay."""
+        local: dict = {}
+        groups = {
+            vid: ("group", tuple(g.world_ranks))
+            for vid, g in table.bound(HandleKind.GROUP).items()
+        }
+        if groups:
+            local[HandleKind.GROUP.value] = groups
+        dtypes = {
+            vid: ("datatype", dt.recipe)
+            for vid, dt in table.bound(HandleKind.DATATYPE).items()
+        }
+        if dtypes:
+            local[HandleKind.DATATYPE.value] = dtypes
+        return local
+
+    def snapshot(self, compact: bool = False,
+                 table: Optional[VirtualHandleTable] = None,
+                 n_ranks: Optional[int] = None) -> Any:
+        """Picklable representation for the checkpoint image.
+
+        Plain mode returns the bare entry list (the historical shape)
+        unless local bindings must ride along; ``compact=True`` runs the
+        :mod:`~repro.mana.log_compaction` pass against the live table and
+        returns the pruned dict form.  ``restore`` accepts every shape.
+        """
+        if not compact:
+            if not self.local_bindings:
+                return list(self.entries)
+            return {
+                "entries": list(self.entries),
+                "local": {k: dict(v) for k, v in self.local_bindings.items()},
+                "stats": None,
+            }
+        if table is None:
+            raise ValueError("compact snapshot needs the live handle table")
+        from repro.mana.log_compaction import compact_log
+
+        live = {kind: set(table.bound(kind)) for kind in HandleKind}
+        result = compact_log(self.entries, live, n_ranks=n_ranks)
+        local = self._local_payloads(table)
+        result.stats.snapshot_bindings = sum(len(v) for v in local.values())
+        return {
+            "entries": result.entries,
+            "local": local,
+            "stats": result.stats.as_dict(),
+        }
+
+    def restore(self, snap: Any) -> None:
+        """Install state captured by :meth:`snapshot` (any historical shape)."""
+        if isinstance(snap, dict):
+            entries = snap["entries"]
+            self.local_bindings = {
+                k: dict(v) for k, v in snap.get("local", {}).items()
+            }
+            self.compaction_stats = snap.get("stats")
+        else:
+            entries = snap
+            self.local_bindings = {}
+            self.compaction_stats = None
+        self.entries = [_normalize_entry(e) for e in entries]
 
 
 class ReplayEngine:
@@ -68,7 +180,13 @@ class ReplayEngine:
     Entries run strictly in order; communicator-management entries are real
     collectives on the new world, so every participating rank's ReplayEngine
     must be started before any of them can finish.  :attr:`finished`
-    resolves when the whole log has been replayed.
+    resolves when the whole log has been replayed — with the replayed-entry
+    count on success, or with a :class:`ReplayError` instance (also stored
+    on :attr:`error`) if an entry cannot be executed.
+
+    Compacted logs carry ``local_bindings``: value snapshots of live
+    datatype/group handles, bound directly into the table by :meth:`start`
+    (counted in :attr:`restored_bindings`) before any entry replays.
     """
 
     def __init__(self, engine: Engine, endpoint: Any, table: VirtualHandleTable,
@@ -80,13 +198,43 @@ class ReplayEngine:
         self.finished = Completion(engine, label=f"{label}:finished")
         self._idx = 0
         self.replayed = 0
+        self.restored_bindings = 0
+        self.error: Optional[ReplayError] = None
         self._pumping = False
         self._blocked = False
 
     def start(self) -> None:
-        # COMM_WORLD is predefined: bind it before anything else.
-        """Begin execution (schedules the first event)."""
+        """Validate the log, apply local bindings, schedule the first event.
+
+        Ops are checked *before* anything executes: a corrupted log raises
+        :class:`ReplayError` here, synchronously, instead of wedging the
+        engine halfway through a partial replay.
+        """
+        unknown = sorted({
+            e.op for e in self.log.entries
+            if getattr(self, f"_replay_{e.op}", None) is None
+        })
+        if unknown:
+            raise ReplayError(
+                f"log contains ops with no replay handler: {unknown} "
+                "(corrupted image, or one from a newer format?)"
+            )
+        for kind_name, bindings in self.log.local_bindings.items():
+            kind = HandleKind(kind_name)
+            for vid, payload in bindings.items():
+                self._bind(kind, vid, self._build_local(payload))
+                self.restored_bindings += 1
+        # COMM_WORLD is predefined and already bound; pump the entries.
         self.engine.call_after(0.0, self._pump, label="replay:start")
+
+    @staticmethod
+    def _build_local(payload: tuple) -> Any:
+        tag = payload[0]
+        if tag == "group":
+            return Group(tuple(payload[1]))
+        if tag == "datatype":
+            return rebuild_datatype(payload[1])
+        raise ReplayError(f"unknown local-binding payload {tag!r}")
 
     # ------------------------------------------------------------ stepping
     #
@@ -98,7 +246,7 @@ class ReplayEngine:
     # completion that resolves synchronously equivalent to a local entry.
 
     def _pump(self) -> None:
-        if self._pumping:
+        if self._pumping or self.error is not None:
             return
         self._pumping = True
         try:
@@ -106,15 +254,36 @@ class ReplayEngine:
                 entry = self.log.entries[self._idx]
                 self._idx += 1
                 handler = getattr(self, f"_replay_{entry.op}", None)
-                if handler is None:
-                    raise ValueError(f"no replay handler for op {entry.op!r}")
-                self._blocked = True
-                handler(entry)
+                try:
+                    if handler is None:
+                        raise ReplayError(
+                            f"no replay handler for op {entry.op!r}"
+                        )
+                    self._blocked = True
+                    handler(entry)
+                except Exception as exc:  # noqa: BLE001 - converted to a
+                    self._fail(entry, exc)  # typed, finished-resolving error
+                    return
         finally:
             self._pumping = False
         if (not self._blocked and self._idx >= len(self.log.entries)
                 and not self.finished.done):
             self.finished.resolve(self.replayed)
+
+    def _fail(self, entry: LogEntry, exc: Exception) -> None:
+        """Record a typed error and resolve ``finished`` with it: a broken
+        log surfaces cleanly instead of hanging the restart."""
+        if isinstance(exc, ReplayError):
+            err = exc
+        else:
+            err = ReplayError(
+                f"replaying {entry.op!r} (entry {self._idx - 1}) failed: {exc}"
+            )
+            err.__cause__ = exc
+        self.error = err
+        self._blocked = True  # no further entries execute
+        if not self.finished.done:
+            self.finished.resolve(err)
 
     def _local_done(self) -> None:
         """A local entry finished synchronously; the pump loop continues."""
@@ -180,14 +349,28 @@ class ReplayEngine:
     def _replay_comm_free(self, entry: LogEntry) -> None:
         (vid,) = entry.args
         # The create entry earlier in the log re-bound this vid; retire it
-        # again so the table converges to the pre-checkpoint bindings.
+        # again so the table converges to the pre-checkpoint bindings, and
+        # release the real communicator in the fresh lower half too — the
+        # original free released the old lower half's.
+        real = self.table.resolve(HandleKind.COMM, vid)
+        if self.endpoint is not None:
+            self.endpoint.comm_free(real)
         self.table.unregister(HandleKind.COMM, vid)
         self._local_done()
 
     def _replay_type_create(self, entry: LogEntry) -> None:
-        (recipe, vid) = entry.args
+        if entry.result_vid is None:
+            raise ReplayError("type_create entry lacks a result vid")
+        (recipe,) = entry.args
         real = rebuild_datatype(recipe)
-        self._bind(HandleKind.DATATYPE, vid, real)
+        self._bind(HandleKind.DATATYPE, entry.result_vid, real)
+        self._local_done()
+
+    def _replay_type_free(self, entry: LogEntry) -> None:
+        (vid,) = entry.args
+        # Datatypes are value objects here: retiring the binding is the
+        # whole release (nothing lives in the lower half for them).
+        self.table.unregister(HandleKind.DATATYPE, vid)
         self._local_done()
 
     # --------------------------------------------------------- file ops
@@ -207,6 +390,7 @@ class ReplayEngine:
     def _replay_file_close(self, entry: LogEntry) -> None:
         (vid,) = entry.args
         binding = self.table.resolve(HandleKind.FILE, vid)
+        # close() releases the real handle in the fresh lower half's ledger.
         binding.real.close()
         self.table.unregister(HandleKind.FILE, vid)
         self._local_done()
@@ -214,6 +398,10 @@ class ReplayEngine:
     # ------------------------------------------------- group ops (local)
 
     def _rebind_group(self, entry: LogEntry, group: Group) -> None:
+        if entry.result_vid is None:
+            raise ReplayError(
+                f"group entry {entry.op!r} lacks a result vid"
+            )
         self._bind(HandleKind.GROUP, entry.result_vid, group)
         self._local_done()
 
@@ -247,5 +435,6 @@ class ReplayEngine:
 
     def _replay_group_free(self, entry: LogEntry) -> None:
         (vid,) = entry.args
+        # Groups are value objects: no lower-half resource to release.
         self.table.unregister(HandleKind.GROUP, vid)
         self._local_done()

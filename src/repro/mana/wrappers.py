@@ -572,7 +572,12 @@ class ManaApi(MpiApi):
                 out.resolve(None)
                 return
             vid = rt.register_comm(real_result)
-            rt.log.record(label, log_args(parent_vid), vid)
+            # Record the result membership too: checkpoint-time compaction
+            # may only cancel a dead comm_split when its result covered the
+            # whole parent (docs/record_replay.md); replay itself never
+            # reads it.
+            rt.log.record(label, log_args(parent_vid), vid,
+                          group=tuple(real_result.group.world_ranks))
             out.resolve(vid)
 
         self._collective(label, vparent, issue).on_done(register)
@@ -623,8 +628,10 @@ class ManaApi(MpiApi):
         )
 
     def comm_free(self, vcomm: int) -> None:
-        """Local bookkeeping: retire the virtual handle, log the free."""
+        """Retire the virtual handle, release the real one, log the free."""
+        real = self.rt.table.resolve(HandleKind.COMM, vcomm)
         self.rt.unregister_comm(vcomm)
+        self.rt.endpoint.comm_free(real)
         self.rt.log.record("comm_free", (vcomm,), None)
 
     # --------------------------------------------------------------- files
@@ -772,9 +779,15 @@ class ManaApi(MpiApi):
 
     def _new_type(self, dtype: Datatype) -> int:
         vid = self.rt.table.register(HandleKind.DATATYPE, dtype)
-        self.rt.log.record("type_create", (dtype.recipe, vid), vid,
+        self.rt.log.record("type_create", (dtype.recipe,), vid,
                            result_kind=HandleKind.DATATYPE)
         return vid
+
+    def type_free(self, vid: int) -> None:
+        """MPI_Type_free: retire the handle (recorded for replay)."""
+        self.rt.table.unregister(HandleKind.DATATYPE, vid)
+        self.rt.log.record("type_free", (vid,), None,
+                           result_kind=HandleKind.DATATYPE)
 
     def type_contiguous(self, count: int, base: Datatype) -> int:
         """MPI_Type_contiguous; returns a virtual datatype handle."""

@@ -126,5 +126,11 @@ class MpiFile:
         return done
 
     def close(self) -> None:
-        """MPI_File_close: further operations on this handle fail."""
+        """MPI_File_close: further operations on this handle fail.
+
+        Releases the real handle in the session's ledger exactly once —
+        closing an already-closed handle stays a no-op.
+        """
+        if not self.closed:
+            self.endpoint.world.ledger.note_released("file", self.handle)
         self.closed = True

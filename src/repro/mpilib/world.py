@@ -117,6 +117,43 @@ class _CollectiveContext:
         return len(self.arrivals) == self.expected
 
 
+class HandleLedger:
+    """Live lower-half handle accounting for one MPI session.
+
+    Real MPI libraries leak if handles created at restart replay are never
+    released; this ledger is the model's equivalent of the library's
+    internal object table for the *persistent* opaque kinds (communicators
+    and files — requests are transient, groups are upper-half values here).
+    Creation is noted at every mint; release is idempotent, matching
+    MPI_Comm_free / MPI_File_close semantics on an already-retired handle.
+    """
+
+    def __init__(self) -> None:
+        self._live: dict[str, set[int]] = {"comm": set(), "file": set()}
+        self.created: dict[str, int] = {"comm": 0, "file": 0}
+        self.released: dict[str, int] = {"comm": 0, "file": 0}
+
+    def note_created(self, kind: str, handle: int) -> None:
+        """Record a freshly minted real handle."""
+        self._live.setdefault(kind, set()).add(handle)
+        self.created[kind] = self.created.get(kind, 0) + 1
+
+    def note_released(self, kind: str, handle: int) -> None:
+        """Record a release; releasing an unknown/retired handle is a no-op."""
+        live = self._live.setdefault(kind, set())
+        if handle in live:
+            live.discard(handle)
+            self.released[kind] = self.released.get(kind, 0) + 1
+
+    def live(self, kind: str) -> int:
+        """Number of currently live handles of one kind."""
+        return len(self._live.get(kind, ()))
+
+    def live_handles(self, kind: str) -> set[int]:
+        """The live handle values themselves (for tests/inspection)."""
+        return set(self._live.get(kind, ()))
+
+
 class MpiWorld:
     """All shared state of one MPI session."""
 
@@ -145,12 +182,14 @@ class MpiWorld:
         #: cumulative p2p statistics (per experiment reporting)
         self.p2p_messages = 0
         self.p2p_bytes = 0
+        #: live real-handle accounting (the library's internal object table)
+        self.ledger = HandleLedger()
 
         world_group = Group(tuple(range(self.size)))
         world_ctx = next(self._context_ids)
         self.endpoints = [
             MpiEndpoint(self, rank, Communicator(
-                handle=impl.new_handle("comm"), context_id=world_ctx,
+                handle=self.new_comm_handle(), context_id=world_ctx,
                 group=world_group, name="MPI_COMM_WORLD",
             ))
             for rank in range(self.size)
@@ -180,6 +219,18 @@ class MpiWorld:
     def new_request_handle(self) -> int:
         """Mint a fresh real request handle."""
         return self.impl.new_handle("request")
+
+    def new_comm_handle(self) -> int:
+        """Mint a fresh real communicator handle, tracked by the ledger."""
+        handle = self.impl.new_handle("comm")
+        self.ledger.note_created("comm", handle)
+        return handle
+
+    def new_file_handle(self) -> int:
+        """Mint a fresh real file handle, tracked by the ledger."""
+        handle = self.impl.new_handle("file")
+        self.ledger.note_created("file", handle)
+        return handle
 
     def shared_context_id(
         self, op_kind: str, parent_ctx: int, comm_size: int, color_key: Any = None
@@ -773,6 +824,17 @@ class MpiEndpoint:
 
     # --------------------------------------------- communicator management
 
+    def comm_free(self, comm: Communicator) -> None:
+        """MPI_Comm_free: release this rank's real communicator handle.
+
+        Local in this model (real MPI defers teardown until all pending
+        communication completes; nothing here outlives the call).  The
+        ledger release is idempotent, so replaying a free against a fresh
+        lower half is safe even if the handle was already retired.
+        """
+        self.calls += 1
+        self.world.ledger.note_released("comm", comm.handle)
+
     def comm_dup(self, comm: Optional[Communicator] = None) -> Completion:
         """Collective; resolves with this rank's new Communicator."""
         comm = comm or self.comm_world
@@ -783,7 +845,7 @@ class MpiEndpoint:
         def finish(_vals: Any) -> None:
             ctx = self.world.shared_context_id("dup", comm.context_id, comm.size)
             out.resolve(Communicator(
-                handle=self.impl.new_handle("comm"), context_id=ctx,
+                handle=self.world.new_comm_handle(), context_id=ctx,
                 group=comm.group, name=f"{comm.name}.dup",
             ))
 
@@ -813,7 +875,7 @@ class MpiEndpoint:
             group = Group(tuple(w for _k, w in members))
             ctx = self.world.shared_context_id("split", comm.context_id, comm.size, my_color)
             out.resolve(Communicator(
-                handle=self.impl.new_handle("comm"), context_id=ctx,
+                handle=self.world.new_comm_handle(), context_id=ctx,
                 group=group, name=f"{comm.name}.split({my_color})",
             ))
 
@@ -840,7 +902,7 @@ class MpiEndpoint:
                 out.resolve(None)
             else:
                 out.resolve(Communicator(
-                    handle=self.impl.new_handle("comm"), context_id=ctx,
+                    handle=self.world.new_comm_handle(), context_id=ctx,
                     group=group, name=f"{comm.name}.create",
                 ))
 
@@ -867,7 +929,7 @@ class MpiEndpoint:
         def finish(_values: Any) -> None:
             ctx = self.world.shared_context_id("topo", comm.context_id, comm.size)
             new = Communicator(
-                handle=self.impl.new_handle("comm"), context_id=ctx,
+                handle=self.world.new_comm_handle(), context_id=ctx,
                 group=comm.group, name=f"{comm.name}.cart",
             )
             new.topology = topo
@@ -897,7 +959,7 @@ class MpiEndpoint:
                 )
             sim_file = self.world.cluster.fs.open(path)
             out.resolve(MpiFile(
-                handle=self.impl.new_handle("file"), file=sim_file,
+                handle=self.world.new_file_handle(), file=sim_file,
                 comm=comm, endpoint=self, mode=mode,
             ))
 
@@ -920,7 +982,7 @@ class MpiEndpoint:
         def finish(_values: Any) -> None:
             ctx = self.world.shared_context_id("topo", comm.context_id, comm.size)
             new = Communicator(
-                handle=self.impl.new_handle("comm"), context_id=ctx,
+                handle=self.world.new_comm_handle(), context_id=ctx,
                 group=comm.group, name=f"{comm.name}.graph",
             )
             new.topology = topo

@@ -21,6 +21,8 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.mpilib.comm import ANY_SOURCE, ANY_TAG, Communicator, Group
+from repro.mpilib.datatypes import Datatype, contiguous, vector
+from repro.mpilib.datatypes import struct as struct_type
 from repro.mpilib.ops import ReduceOp
 from repro.mpilib.world import MpiEndpoint
 from repro.simtime import Completion
@@ -175,6 +177,68 @@ class NativeApi(MpiApi):
                      comm: Optional[Communicator] = None) -> Completion:
         """MPI_Graph_create (collective)."""
         return self.endpoint.graph_create(edges, comm=comm)
+
+    def comm_free(self, comm: Communicator) -> None:
+        """MPI_Comm_free: release the communicator's lower-half handle."""
+        self.endpoint.comm_free(comm)
+
+    # ------------------------------------------------- groups and datatypes
+    #
+    # Natively the opaque tokens ARE the value objects (Group/Datatype), so
+    # the algebra is direct and the frees are no-ops (Python owns the
+    # memory).  Under MANA the same calls mint virtual ids and append to
+    # the record log — the program text cannot tell the difference.
+
+    def comm_group(self, comm: Optional[Communicator] = None) -> Group:
+        """MPI_Comm_group: the group of a communicator's members."""
+        return (comm or self.comm_world).group
+
+    def group_incl(self, group: Group, ranks: list[int]) -> Group:
+        """MPI_Group_incl."""
+        return group.incl(ranks)
+
+    def group_excl(self, group: Group, ranks: list[int]) -> Group:
+        """MPI_Group_excl."""
+        return group.excl(ranks)
+
+    def group_union(self, a: Group, b: Group) -> Group:
+        """MPI_Group_union."""
+        return a.union(b)
+
+    def group_intersection(self, a: Group, b: Group) -> Group:
+        """MPI_Group_intersection."""
+        return a.intersection(b)
+
+    def group_free(self, group: Group) -> None:
+        """MPI_Group_free (a no-op natively)."""
+
+    def group_size(self, group: Group) -> int:
+        """MPI_Group_size."""
+        return group.size
+
+    def group_rank(self, group: Group) -> Optional[int]:
+        """MPI_Group_rank (None for non-members)."""
+        return group.rank_of(self.rank)
+
+    def type_contiguous(self, count: int, base: Datatype) -> Datatype:
+        """MPI_Type_contiguous."""
+        return contiguous(count, base)
+
+    def type_vector(self, count: int, blocklength: int, stride: int,
+                    base: Datatype) -> Datatype:
+        """MPI_Type_vector."""
+        return vector(count, blocklength, stride, base)
+
+    def type_struct(self, fields: list) -> Datatype:
+        """MPI_Type_create_struct."""
+        return struct_type(fields)
+
+    def type_free(self, dtype: Datatype) -> None:
+        """MPI_Type_free (a no-op natively)."""
+
+    def resolve_type(self, dtype: Datatype) -> Datatype:
+        """The Datatype behind an opaque token (identity natively)."""
+        return dtype
 
     # ------------------------------------------------------------- local ops
 

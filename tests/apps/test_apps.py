@@ -21,8 +21,8 @@ def run_app_native(name, n_ranks=8, n_steps=4, cluster=None):
 
 
 def test_registry_has_the_papers_five_plus_extension():
-    assert ALL_APPS == ["clamr", "gromacs", "hpcg", "lulesh", "minife",
-                        "npbft"]
+    assert ALL_APPS == ["clamr", "commchurn", "gromacs", "hpcg", "lulesh",
+                        "minife", "npbft"]
 
 
 def test_unknown_app_raises():

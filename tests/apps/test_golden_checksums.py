@@ -20,6 +20,7 @@ CONFIG = dict(n_ranks=8, n_steps=4)
 #: LULESH drops to its nearest cube, which is also 8)
 GOLDEN = {
     "clamr": 1175.133694546227,
+    "commchurn": 0.17622592327426,
     "gromacs": 178.2975651501,
     "hpcg": 211.37589965079457,
     "lulesh": 0.09998036466099999,

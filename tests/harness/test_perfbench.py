@@ -37,6 +37,14 @@ def _doc(**overrides):
                                 "higher_is_better": False,
                                 "alg2_s": 0.0034, "topo_s": 0.0017,
                                 "simulated": True},
+        "restart_replay_s_vs_log_len": {"value": 0.0002, "unit": "s",
+                                        "higher_is_better": False,
+                                        "compact_base_s": 0.0002,
+                                        "full_base_s": 0.001,
+                                        "full_x10_s": 0.01,
+                                        "compact_ratio": 1.0,
+                                        "full_ratio": 10.0,
+                                        "simulated": True},
     }
     for key, m in overrides.items():
         metrics[key] = {**metrics[key], **m}
@@ -60,6 +68,7 @@ def test_valid_doc_passes_and_covers_core_metrics():
     lambda d: d["metrics"].pop("sweep_speedup_j2"),
     lambda d: d["metrics"].pop("engine_events_per_s_sharded"),
     lambda d: d["metrics"].pop("ckpt_quiesce_wait_s"),
+    lambda d: d["metrics"].pop("restart_replay_s_vs_log_len"),
     lambda d: d["metrics"]["fig2_cell_s"].update(value=float("nan")),
     lambda d: d["metrics"]["fig2_cell_s"].update(unit=""),
 ])
@@ -122,6 +131,16 @@ def test_run_suite_flags_speedup_on_single_core_hosts(monkeypatch):
         pb, "bench_sweep_speedup",
         lambda jobs: {"seq_s": 1.0, "par_s": 1.2, "speedup": 1 / 1.2},
     )
+    monkeypatch.setattr(
+        pb, "bench_restart_replay_vs_log_len",
+        lambda *a, **k: {
+            "compact_base_s": 2e-4, "compact_x10_s": 2e-4,
+            "full_base_s": 1e-3, "full_x10_s": 1e-2,
+            "compact_base_entries": 8.0, "compact_x10_entries": 8.0,
+            "full_base_entries": 100.0, "full_x10_entries": 1000.0,
+            "compact_ratio": 1.0, "full_ratio": 10.0,
+        },
+    )
     doc = pb.run_suite(quick=True)
     validate_bench_doc(doc)
     assert doc["metrics"]["sweep_speedup_j2"]["informational"] is True
@@ -158,6 +177,21 @@ def test_default_threshold_keys_cover_parallel_metrics():
                                              "value": 1000.0})
     failures = compare_bench(slow, fast)
     assert failures and "engine_events_per_s_sharded" in failures[0]
+
+
+def test_restart_replay_bench_flat_under_compaction():
+    """The acceptance criterion behind the metric: across 10x communicator
+    churn the full log's replay grows with call history while the
+    compacted restart stays O(live handles) — same entry count, flat
+    simulated replay time (both deterministic)."""
+    from repro.harness.perfbench import bench_restart_replay_vs_log_len
+
+    rr = bench_restart_replay_vs_log_len(n_steps=3)
+    assert rr["full_x10_entries"] >= 5 * rr["full_base_entries"]
+    assert rr["compact_x10_entries"] == rr["compact_base_entries"]
+    assert rr["compact_ratio"] <= 1.5
+    assert rr["full_ratio"] >= 3.0
+    assert rr["compact_x10_s"] < rr["full_x10_s"]
 
 
 def test_quiesce_wait_bench_topo_at_most_alg2():

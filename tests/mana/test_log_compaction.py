@@ -1,0 +1,588 @@
+"""Checkpoint-time log compaction: O(live handles) restart, and the
+replay-path hardening that rides along (docs/record_replay.md).
+
+The tentpole property: a compacted image and a full image of the same
+instant restart to *bit-identical* application state, while the compacted
+one replays O(live handles) entries instead of O(call history).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.conformance.oracles import (
+    check_handle_ledger,
+    check_replay_consistency,
+    state_fingerprint,
+)
+from repro.hardware.cluster import make_cluster
+from repro.mana import launch_mana, restart
+from repro.mana.checkpoint_image import CheckpointImage
+from repro.mana.log_compaction import (
+    check_collective_consistency,
+    compact_log,
+)
+from repro.mana.record_replay import (
+    LogEntry,
+    RecordLog,
+    ReplayEngine,
+    ReplayError,
+)
+from repro.mana.virtualize import VCOMM_WORLD, HandleKind, VirtualHandleTable
+from repro.mpilib import DOUBLE, SUM
+from repro.mprog import Call, Compute, Loop, Program, Seq
+from repro.simtime import Completion, Engine
+
+WORLD4 = (0, 1, 2, 3)
+
+
+def _entry(op, args, vid, kind=HandleKind.COMM, group=None):
+    return LogEntry(op, tuple(args), vid, kind, group)
+
+
+def _no_live():
+    return {kind: set() for kind in HandleKind}
+
+
+# --------------------------------------------------------- unit: compaction
+
+def test_dead_dup_pair_cancels():
+    entries = [
+        _entry("comm_dup", (VCOMM_WORLD,), 1000, group=WORLD4),
+        _entry("comm_free", (1000,), None),
+    ]
+    result = compact_log(entries, _no_live(), n_ranks=4)
+    assert result.entries == []
+    assert result.stats.cancelled_pairs == 1
+    assert result.stats.kept == 0
+
+
+def test_live_handle_pins_parent_chain():
+    entries = [
+        _entry("comm_dup", (VCOMM_WORLD,), 1000, group=WORLD4),
+        _entry("comm_split", (1000, 0, 0), 1001, group=WORLD4),
+        _entry("comm_dup", (VCOMM_WORLD,), 1002, group=WORLD4),
+        _entry("comm_free", (1002,), None),
+    ]
+    live = _no_live()
+    live[HandleKind.COMM] = {VCOMM_WORLD, 1001}
+    result = compact_log(entries, live, n_ranks=4)
+    # the live split pins the dead-but-referenced dup it derives from; the
+    # unreferenced dead dup cancels with its free
+    assert [e.result_vid for e in result.entries] == [1000, 1001]
+    assert result.stats.cancelled_pairs == 1
+
+
+def test_dead_but_referenced_create_keeps_its_free():
+    entries = [
+        _entry("comm_dup", (VCOMM_WORLD,), 1000, group=WORLD4),
+        _entry("comm_split", (1000, 0, 0), 1001, group=WORLD4),
+        _entry("comm_free", (1000,), None),
+    ]
+    live = _no_live()
+    live[HandleKind.COMM] = {VCOMM_WORLD, 1001}
+    result = compact_log(entries, live, n_ranks=4)
+    # the dup is dead but pinned by the live split: replay must re-create
+    # AND re-free it so the table converges to the snapshot's bindings
+    assert [e.op for e in result.entries] == [
+        "comm_dup", "comm_split", "comm_free",
+    ]
+
+
+def test_subset_split_pair_never_cancels():
+    entries = [
+        _entry("comm_split", (VCOMM_WORLD, 0, 0), 1000, group=(0, 1)),
+        _entry("comm_free", (1000,), None),
+    ]
+    result = compact_log(entries, _no_live(), n_ranks=4)
+    # proper-subset membership: the other colour's ranks cannot observe
+    # this pair, so nobody may cancel
+    assert [e.op for e in result.entries] == ["comm_split", "comm_free"]
+    assert result.stats.cancelled_pairs == 0
+
+
+def test_uniform_split_pair_cancels():
+    entries = [
+        _entry("comm_split", (VCOMM_WORLD, 0, 0), 1000, group=WORLD4),
+        _entry("comm_free", (1000,), None),
+    ]
+    result = compact_log(entries, _no_live(), n_ranks=4)
+    assert result.entries == []
+    assert result.stats.cancelled_pairs == 1
+
+
+def test_nonmember_entry_always_kept():
+    # undefined colour: this rank got no communicator, but its participation
+    # in the collective is still required at replay
+    entries = [_entry("comm_split", (VCOMM_WORLD, None, 0), None)]
+    result = compact_log(entries, _no_live(), n_ranks=4)
+    assert result.entries == entries
+
+
+def test_unknown_membership_degrades_to_keeping():
+    # an old image without recorded result groups: the split may be a
+    # subset, so the pair must survive
+    entries = [
+        _entry("comm_split", (VCOMM_WORLD, 0, 0), 1000, group=None),
+        _entry("comm_free", (1000,), None),
+    ]
+    result = compact_log(entries, _no_live(), n_ranks=4)
+    assert len(result.entries) == 2
+    assert result.stats.cancelled_pairs == 0
+
+
+def test_comm_create_cancels_only_on_full_membership():
+    full = [
+        _entry("comm_create", (VCOMM_WORLD, WORLD4), 1000, group=WORLD4),
+        _entry("comm_free", (1000,), None),
+    ]
+    subset = [
+        _entry("comm_create", (VCOMM_WORLD, (0, 1)), 1001, group=(0, 1)),
+        _entry("comm_free", (1001,), None),
+    ]
+    assert compact_log(full, _no_live(), n_ranks=4).entries == []
+    assert len(compact_log(subset, _no_live(), n_ranks=4).entries) == 2
+
+
+def test_local_entries_always_elided():
+    entries = [
+        _entry("type_create", (("contiguous", 4, "d"),), 2000,
+               HandleKind.DATATYPE),
+        _entry("comm_group", (VCOMM_WORLD,), 3000, HandleKind.GROUP),
+        _entry("group_incl", (3000, (0, 1)), 3001, HandleKind.GROUP),
+        _entry("group_free", (3001,), None, HandleKind.GROUP),
+        _entry("type_free", (2000,), None, HandleKind.DATATYPE),
+    ]
+    live = _no_live()
+    live[HandleKind.GROUP] = {3000}  # still live: the snapshot carries it
+    result = compact_log(entries, live, n_ranks=4)
+    assert result.entries == []
+    assert result.stats.elided_local == 5
+
+
+# ------------------------------------------- unit: the consistency oracle
+
+def test_consistency_oracle_passes_symmetric_logs():
+    log = [
+        _entry("comm_dup", (VCOMM_WORLD,), 1000, group=WORLD4),
+        _entry("comm_split", (1000, 0, 0), 1001, group=(0, 1)),
+    ]
+    # every rank replays the same schedule (split colours differ per rank
+    # but the instance matches on op + parent)
+    logs = [list(log) for _ in range(4)]
+    assert check_collective_consistency(logs, 4) == []
+
+
+def test_consistency_oracle_detects_one_sided_pruning():
+    kept = [_entry("comm_dup", (VCOMM_WORLD,), 1000, group=WORLD4)]
+    logs = [list(kept), list(kept), list(kept), []]  # rank 3 pruned it
+    problems = check_collective_consistency(logs, 4)
+    assert problems, "three ranks wait forever on rank 3's cancelled dup"
+    assert "stuck" in problems[0]
+
+
+def test_consistency_oracle_matches_by_parent_not_position():
+    # rank 0 kept an extra *local-parent-only* dup pair the others pruned —
+    # genuinely inconsistent, must be flagged
+    extra = [
+        _entry("comm_dup", (VCOMM_WORLD,), 1000, group=WORLD4),
+        _entry("comm_dup", (VCOMM_WORLD,), 1001, group=WORLD4),
+    ]
+    pruned = [_entry("comm_dup", (VCOMM_WORLD,), 1000, group=WORLD4)]
+    problems = check_collective_consistency(
+        [extra, pruned, pruned, pruned], 4
+    )
+    assert problems
+
+
+# ------------------------------------------------- replay-path hardening
+
+def _world_table():
+    from repro.mpilib.comm import Group
+
+    class _WorldStub:
+        group = Group(WORLD4)
+
+    table = VirtualHandleTable()
+    table.register(HandleKind.COMM, _WorldStub(), virtual=VCOMM_WORLD)
+    return table
+
+
+def test_unknown_op_raises_replay_error_up_front():
+    log = RecordLog()
+    log.record("comm_quadruplicate", (VCOMM_WORLD,), 1000)
+    replay = ReplayEngine(Engine(), None, _world_table(), log)
+    with pytest.raises(ReplayError, match="comm_quadruplicate"):
+        replay.start()
+
+
+def test_failing_entry_resolves_finished_with_error():
+    """A dangling reference mid-log must surface as a typed error, not
+    wedge the engine with ``finished`` unresolved."""
+    log = RecordLog()
+    log.record("group_free", (9999,), None, result_kind=HandleKind.GROUP)
+    engine = Engine()
+    replay = ReplayEngine(engine, None, _world_table(), log)
+    replay.start()
+    engine.run()
+    assert replay.finished.done
+    assert isinstance(replay.finished.value, ReplayError)
+    assert replay.error is replay.finished.value
+
+
+def test_group_entry_without_result_vid_is_typed_error():
+    log = RecordLog()
+    log.record("comm_group", (VCOMM_WORLD,), None, result_kind=HandleKind.GROUP)
+    engine = Engine()
+    replay = ReplayEngine(engine, None, _world_table(), log)
+    replay.start()
+    engine.run()
+    assert isinstance(replay.finished.value, ReplayError)
+
+
+def test_old_style_type_create_args_normalized():
+    """Images from before this change carry ``(recipe, vid)`` args; restore
+    must shrink them to ``(recipe,)`` and replay from result_vid."""
+    from repro.mpilib.datatypes import contiguous
+
+    dt = contiguous(4, DOUBLE)
+    old = LogEntry("type_create", (dt.recipe, 2000), 2000,
+                   HandleKind.DATATYPE)
+    log = RecordLog()
+    log.restore([old])
+    assert log.entries[0].args == (dt.recipe,)
+
+    engine = Engine()
+    table = _world_table()
+    replay = ReplayEngine(engine, None, table, log)
+    replay.start()
+    engine.run()
+    assert replay.finished.value == 1
+    assert table.resolve(HandleKind.DATATYPE, 2000).extent == dt.extent
+
+
+def test_restored_entries_without_group_field():
+    """Entries unpickled from old images lack the ``group`` attribute
+    entirely; restore must default it to None (= never cancel)."""
+    e = LogEntry("comm_dup", (VCOMM_WORLD,), 1000)
+    clone = pickle.loads(pickle.dumps(e))
+    object.__delattr__(clone, "group")
+    log = RecordLog()
+    log.restore([clone])
+    assert log.entries[0].group is None
+
+
+# ------------------------------------------------------------- end to end
+
+def _done(api, value=None):
+    out = Completion(api.rt.engine)
+    out.resolve(value)
+    return out
+
+
+def _churn_factory(n_steps):
+    """Per step: dup + uniform split, barrier + allreduce on them, free
+    both, plus a datatype and two groups created and freed — pure log
+    growth with constant live state."""
+
+    def _init(s):
+        s["checksum"] = 0.0
+        s["rank_f"] = float(s["rank"])
+
+    def _dup(s, api):
+        return api.comm_dup()
+
+    def _split(s, api):
+        return api.comm_split(color=0, key=s["rank"])
+
+    def _use_dup(s, api):
+        return api.barrier(comm=s["edup"])
+
+    def _use_split(s, api):
+        return api.allreduce(np.array([s["rank_f"] + s["step"]]), SUM,
+                             comm=s["esplit"], size=16)
+
+    def _churn_local_and_free(s, api):
+        api.comm_free(s.pop("edup"))
+        api.comm_free(s.pop("esplit"))
+        tvid = api.type_contiguous(3 + s["step"] % 5, DOUBLE)
+        s["checksum"] += api.resolve_type(tvid).extent * 1e-6
+        api.type_free(tvid)
+        g = api.comm_group()
+        half = api.group_incl(g, [0, 1])
+        s["checksum"] += api.group_size(half)
+        api.group_free(half)
+        api.group_free(g)
+        return _done(api)
+
+    def _absorb(s):
+        s["checksum"] += float(s["esum"][0]) * 1e-3
+
+    def factory(rank, size):
+        return Program(Seq(
+            Compute(_init),
+            Loop(n_steps, Seq(
+                Call(_dup, store="edup"),
+                Call(_split, store="esplit"),
+                Call(_use_dup),
+                Call(_use_split, store="esum"),
+                Call(_churn_local_and_free),
+                Compute(_absorb, cost=0.4e-3),
+            ), var="step"),
+        ), name="churn-test")
+
+    return factory
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster("lc", 2, interconnect="aries", default_mpi="craympich")
+
+
+def _fingerprint_of_baseline(cluster, factory):
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2).start()
+    job.run_to_completion()
+    return state_fingerprint(job.states)
+
+
+def _cycle(cluster, factory, t_ckpt, compact):
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2,
+                      compact=compact).start()
+    ckpt, _ = job.checkpoint_at(t_ckpt)
+    dst = make_cluster("dst", 4, interconnect="infiniband")
+    job2 = restart(ckpt, dst, factory, mpi="openmpi", ranks_per_node=1)
+    job2.run_to_completion()
+    return ckpt, job2
+
+
+def test_compacted_restart_is_bit_identical_and_small(cluster):
+    factory = _churn_factory(n_steps=12)
+    golden = _fingerprint_of_baseline(cluster, factory)
+
+    ckpt_full, job_full = _cycle(cluster, factory, 0.004, compact=False)
+    ckpt_comp, job_comp = _cycle(cluster, factory, 0.004, compact=True)
+
+    assert state_fingerprint(job_full.states) == golden
+    assert state_fingerprint(job_comp.states) == golden
+
+    full = job_full.restart_report
+    comp = job_comp.restart_report
+    assert comp.replayed_entries < full.replayed_entries / 4, \
+        "compaction must shrink replay work by far more than a constant"
+    assert check_replay_consistency(ckpt_comp) == []
+
+    # every entry the compacted image kept corresponds to a live handle:
+    # nothing was freed between the cut and the replay's end of log
+    stats = ckpt_comp.meta["log_compaction"]
+    assert stats["kept"] == comp.replayed_entries
+    assert stats["cancelled_pairs"] > 0
+    assert stats["elided_local"] > 0
+
+
+def test_replay_frees_release_lower_half_handles(cluster):
+    """Satellite: replayed frees must release real handles through the
+    endpoint — the ledger and the virtual tables agree after replay."""
+    factory = _churn_factory(n_steps=10)
+    for compact in (False, True):
+        _ckpt, job2 = _cycle(cluster, factory, 0.004, compact=compact)
+        assert check_handle_ledger(job2) == []
+        ledger = job2.world.ledger
+        bound = sum(
+            len(rt.table.bound(HandleKind.COMM)) for rt in job2.runtimes
+        )
+        assert ledger.live("comm") == bound
+        if not compact:
+            # the full log replayed every dead create AND its free
+            assert ledger.released["comm"] > 0
+
+
+def test_compaction_meta_only_when_enabled(cluster):
+    factory = _churn_factory(n_steps=6)
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2).start()
+    ckpt, _ = job.checkpoint_at(0.004)
+    assert "log_compaction" not in ckpt.meta
+
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2,
+                      compact=True).start()
+    ckpt, _ = job.checkpoint_at(0.004)
+    assert ckpt.meta["log_compaction"]["examined"] > 0
+
+
+def test_corrupted_image_surfaces_replay_error(cluster):
+    """Satellite: a corrupted log in a real image must raise a typed
+    ReplayError out of the restarted run, not wedge the engine."""
+    factory = _churn_factory(n_steps=8)
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2).start()
+    ckpt, _ = job.checkpoint_at(0.004)
+
+    img = ckpt.image_for(0)
+    state = img.restore_state()
+    snap = state["log"]
+    entries = snap["entries"] if isinstance(snap, dict) else snap
+    entries.append(LogEntry("comm_frobnicate", (VCOMM_WORLD,), 4242))
+    ckpt.images[0] = CheckpointImage(
+        rank=img.rank, size_bytes=img.size_bytes, regions=img.regions,
+        payload=pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL),
+        taken_at=img.taken_at,
+    )
+
+    dst = make_cluster("dst", 2, interconnect="tcp")
+    job2 = restart(ckpt, dst, factory, ranks_per_node=2)
+    with pytest.raises(ReplayError, match="comm_frobnicate"):
+        job2.run_to_completion()
+
+
+def test_compact_then_noncompact_checkpoint_carries_local_bindings(cluster):
+    """Carry-forward: once local creates were compacted away, later
+    non-compact checkpoints must ship the value bindings instead."""
+    from tests.mana.test_record_replay import comm_mgmt_factory
+
+    factory = comm_mgmt_factory(n_iters=8)
+    baseline = launch_mana(cluster, factory, n_ranks=4,
+                           ranks_per_node=2).start()
+    baseline.run_to_completion()
+
+    # hop 1: compacted cut (the live datatype becomes a snapshot binding)
+    job = launch_mana(cluster, factory, n_ranks=4, ranks_per_node=2,
+                      compact=True).start()
+    ckpt, _ = job.checkpoint_at(1.0)
+    snap = ckpt.image_for(0).restore_state()["log"]
+    assert snap["local"], "live datatype must ride as a value binding"
+
+    # hop 2: restart WITHOUT compaction, checkpoint again — the datatype
+    # create no longer exists in any log, so the binding must carry forward
+    mid = make_cluster("mid", 2, interconnect="tcp")
+    job2 = restart(ckpt, mid, factory, mpi="mpich", ranks_per_node=2)
+    while not job2.resumed.done:
+        assert job2.engine.step()
+    rep = job2.restart_report
+    assert rep.restored_bindings > 0
+    ckpt2, _ = job2.checkpoint_at(job2.engine.now + 1.0)
+    snap2 = ckpt2.image_for(0).restore_state()["log"]
+    assert isinstance(snap2, dict) and snap2["local"]
+
+    # hop 3: restart the second image and finish — still bit-identical
+    dst = make_cluster("dst", 4, interconnect="infiniband")
+    job3 = restart(ckpt2, dst, factory, mpi="openmpi", ranks_per_node=1)
+    job3.run_to_completion()
+    job2.run_to_completion()
+    assert state_fingerprint(job3.states) == state_fingerprint(baseline.states)
+    vid = job3.states[0]["vec_type"]
+    assert job3.runtimes[0].table.resolve(HandleKind.DATATYPE, vid).extent \
+        == 8 * 8
+
+
+# ----------------------------------------- property: compacted ≡ full
+
+_OPS = ("dup", "split_u", "split_p", "type", "group")
+
+
+def _scripted_factory(script):
+    """SPMD churn driven by a generated script: every rank executes the
+    same op sequence, so collectives match; frees happen ``delay`` steps
+    after the create (99 = never: the handle stays live)."""
+
+    def _init(s):
+        s["checksum"] = 0.0
+        s["due"] = []
+
+    def _create(s, api):
+        op, _delay = script[s["step"]]
+        if op == "dup":
+            return api.comm_dup()
+        if op == "split_u":
+            return api.comm_split(color=0, key=s["rank"])
+        if op == "split_p":
+            return api.comm_split(color=s["rank"] % 2, key=s["rank"])
+        return _done(api, None)
+
+    def _use(s, api):
+        op, delay = script[s["step"]]
+        step = s["step"]
+        if op in ("dup", "split_u", "split_p"):
+            s["due"].append((step + delay, "comm", s["made"]))
+            return api.allreduce(np.array([float(s["rank"] + step)]), SUM,
+                                 comm=s["made"], size=16)
+        if op == "type":
+            tvid = api.type_contiguous(2 + step % 6, DOUBLE)
+            s["checksum"] += api.resolve_type(tvid).extent * 1e-6
+            s["due"].append((step + delay, "type", tvid))
+        else:
+            g = api.comm_group()
+            half = api.group_incl(g, [0, 1, 2])
+            s["checksum"] += api.group_size(half)
+            s["due"].append((step + delay, "group", g))
+            s["due"].append((step + delay, "group", half))
+        return _done(api, np.zeros(1))
+
+    def _retire(s, api):
+        step = s["step"]
+        keep = []
+        for due, kind, vid in s["due"]:
+            if due > step:
+                keep.append((due, kind, vid))
+            elif kind == "comm":
+                api.comm_free(vid)
+            elif kind == "type":
+                api.type_free(vid)
+            else:
+                api.group_free(vid)
+        s["due"] = keep
+        return _done(api)
+
+    def _absorb(s):
+        s["checksum"] += float(s["got"][0]) * 1e-3
+
+    def factory(rank, size):
+        return Program(Seq(
+            Compute(_init),
+            Loop(len(script), Seq(
+                Call(_create, store="made"),
+                Call(_use, store="got"),
+                Call(_retire),
+                Compute(_absorb, cost=0.3e-3),
+            ), var="step"),
+        ), name="scripted-churn")
+
+    return factory
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    script=st.lists(
+        st.tuples(st.sampled_from(_OPS), st.sampled_from([0, 1, 2, 99])),
+        min_size=3, max_size=8,
+    ),
+    ckpt_frac=st.floats(0.15, 0.85),
+)
+def test_property_compacted_replay_equals_full_replay(script, ckpt_frac):
+    """The tentpole invariant, fuzzed over churn histories and checkpoint
+    times: compaction must never change a single replayed bit, across
+    every HandleKind, while never replaying more than the full log."""
+    factory = _scripted_factory(script)
+    cl = make_cluster("prop", 2, interconnect="aries",
+                      default_mpi="craympich")
+    baseline = launch_mana(cl, factory, n_ranks=4, ranks_per_node=2).start()
+    makespan = baseline.run_to_completion()
+    golden = state_fingerprint(baseline.states)
+
+    t = makespan * ckpt_frac
+    ckpt_full, job_full = _cycle(cl, factory, t, compact=False)
+    ckpt_comp, job_comp = _cycle(cl, factory, t, compact=True)
+
+    assert state_fingerprint(job_full.states) == golden
+    assert state_fingerprint(job_comp.states) == golden
+    assert (job_comp.restart_report.replayed_entries
+            <= job_full.restart_report.replayed_entries)
+    assert check_replay_consistency(ckpt_comp) == []
+    assert check_handle_ledger(job_comp) == []
+
+    # the virtual tables of both restarts converged to identical bindings
+    for rt_f, rt_c in zip(job_full.runtimes, job_comp.runtimes):
+        for kind in HandleKind:
+            assert sorted(rt_f.table.bound(kind)) == \
+                sorted(rt_c.table.bound(kind))
